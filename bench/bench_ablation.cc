@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Ablations of DiffTune design choices called out in DESIGN.md:
+ *
+ *  1. Extraction rounding: round-to-nearest (paper) vs floor.
+ *  2. Sampling-distribution width: the paper notes random tables
+ *     from the sampling distribution average ~171% error; widening
+ *     the distribution degrades the starting point further.
+ *  3. Surrogate refinement (our Section VII-style extension):
+ *     validation error of the learned table with and without
+ *     refinement rounds.
+ */
+
+#include "bench/bench_util.hh"
+#include "core/difftune.hh"
+#include "core/evaluate.hh"
+#include "core/experiment.hh"
+#include "hw/default_table.hh"
+#include "mca/xmca.hh"
+#include "stats/metrics.hh"
+
+int
+main()
+{
+    using namespace difftune;
+    setVerbose(false);
+    return bench::runBench(
+        "bench_ablation: extraction rounding, sampling width, "
+        "surrogate refinement",
+        "DESIGN.md ablation list (supports Sections IV & VII)", [] {
+            const auto &dataset =
+                core::sharedDataset(hw::Uarch::Haswell);
+            mca::XMca sim;
+            auto base = hw::defaultTable(hw::Uarch::Haswell);
+
+            // ---- 1. Rounding mode at extraction.
+            {
+                auto learned =
+                    core::learnedTable(hw::Uarch::Haswell, "full", 1);
+                params::ParamTable floored(learned);
+                for (auto &inst : floored.perOpcode) {
+                    inst.writeLatency =
+                        std::floor(inst.writeLatency);
+                    inst.numMicroOps =
+                        std::max(1.0, std::floor(inst.numMicroOps));
+                }
+                TextTable table({"Extraction", "Test error"});
+                table.addRow(
+                    {"round-to-nearest (paper)",
+                     fmtPercent(core::evaluate(sim, learned, dataset,
+                                               dataset.test())
+                                    .error)});
+                table.addRow(
+                    {"floor",
+                     fmtPercent(core::evaluate(sim, floored, dataset,
+                                               dataset.test())
+                                    .error)});
+                std::cout << table.render() << "\n";
+            }
+
+            // ---- 2. Sampling-distribution width -> random error.
+            {
+                TextTable table({"WriteLatency range",
+                                 "random-table error (mean+-std, "
+                                 "5 draws)"});
+                for (int wl_max : {3, 5, 10}) {
+                    params::SamplingDist dist;
+                    dist.writeLatencyMax = wl_max;
+                    Rng rng(7);
+                    std::vector<double> errors;
+                    for (int i = 0; i < 5; ++i) {
+                        auto theta = dist.sample(rng, base);
+                        errors.push_back(
+                            core::evaluate(sim, theta, dataset,
+                                           dataset.valid())
+                                .error);
+                    }
+                    table.addRow(
+                        {"0.." + std::to_string(wl_max),
+                         fmtPercent(stats::mean(errors)) + " +- " +
+                             fmtPercent(stats::stddev(errors))});
+                }
+                std::cout << table.render();
+                std::cout << "(paper: sampled tables average "
+                             "171.4% +- 95.7%)\n\n";
+            }
+
+            // ---- 3. Refinement rounds on/off (reduced scale).
+            {
+                TextTable table({"Refinement", "Test error"});
+                for (int rounds : {0, 2}) {
+                    core::DiffTuneConfig cfg = core::standardConfig(3);
+                    cfg.simulatedMultiple /= 2;
+                    cfg.surrogateLoops =
+                        std::max(3, cfg.surrogateLoops / 2);
+                    cfg.tableEpochs = 30;
+                    cfg.refineRounds = rounds;
+                    core::DiffTune difftune(sim, dataset, base, cfg);
+                    auto result = difftune.run();
+                    table.addRow(
+                        {rounds == 0 ? "off (paper one-shot)"
+                                     : "2 rounds (Section VII "
+                                       "extension)",
+                         fmtPercent(
+                             core::evaluate(sim, result.learned,
+                                            dataset, dataset.test())
+                                 .error)});
+                }
+                std::cout << table.render();
+            }
+        });
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reproduces the Section VI-C case studies:
+ *  - PUSH64r: default documented latency 2 makes the rsp chain 2
+ *    cycles; learning drives it to ~0 and the store port binds at 1
+ *    (true ~1.01).
+ *  - XOR32rr as a zero idiom: hardware eliminates it (~0.31); the
+ *    simulator cannot, but a learned latency of ~0 recovers most of
+ *    the accuracy (default predicts ~1.03).
+ *  - ADD32mr: hardware chains load->add->store->forward (~5.97); the
+ *    simulator has no address-based dependences at all, so learning
+ *    compensates with a degenerately high WriteLatency.
+ */
+
+#include "bench/bench_util.hh"
+#include "core/experiment.hh"
+#include "hw/default_table.hh"
+#include "hw/ref_machine.hh"
+#include "isa/parse.hh"
+#include "mca/xmca.hh"
+
+int
+main()
+{
+    using namespace difftune;
+    setVerbose(envLong("DIFFTUNE_VERBOSE", 0) != 0);
+    return bench::runBench(
+        "bench_case_studies: PUSH64r / XOR32rr / ADD32mr learned-"
+        "parameter case studies",
+        "Section VI-C (case studies)", [] {
+            hw::RefMachine machine(hw::Uarch::Haswell);
+            mca::XMca sim;
+            auto def = hw::defaultTable(hw::Uarch::Haswell);
+            // The paper's case studies read the WriteLatency-only
+            // learned table (Section VI-B).
+            auto learned =
+                core::learnedTable(hw::Uarch::Haswell, "wlonly", 1);
+
+            struct Case
+            {
+                const char *label;
+                const char *block;
+                const char *opcode;
+                const char *paper;
+            };
+            const Case cases[] = {
+                {"PUSH64r chain", "PUSH64r %rbx\nTEST32rr %r8d, %r8d\n",
+                 "PUSH64r",
+                 "true 1.01; default 2.03; learned 1.03 (wl 2 -> 0)"},
+                {"XOR32rr zero idiom", "XOR32rr %r13d, %r13d\n",
+                 "XOR32rr",
+                 "true 0.31; default 1.03; learned 0.27 (wl 1 -> 0)"},
+                {"ADD32mr mem chain", "ADD32mr 16(%rsp), %eax\n",
+                 "ADD32mr",
+                 "true 5.97; default 1.09; learned 1.64 (wl 7 -> 62, "
+                 "degenerate)"},
+            };
+
+            TextTable table({"Case", "True", "Default pred",
+                             "Learned pred", "WL def->learned",
+                             "Paper"});
+            for (const Case &c : cases) {
+                auto block = isa::parseBlock(c.block);
+                auto op = isa::theIsa().opcodeByName(c.opcode);
+                table.addRow(
+                    {c.label, fmtDouble(machine.measure(block), 2),
+                     fmtDouble(sim.timing(block, def), 2),
+                     fmtDouble(sim.timing(block, learned), 2),
+                     std::to_string(def.latency(op)) + " -> " +
+                         std::to_string(learned.latency(op)),
+                     c.paper});
+            }
+            std::cout << table.render();
+            std::cout << "\nShape checks: learned stack/zero-idiom "
+                         "latencies shrink toward 0; the memory-RMW "
+                         "case cannot be fixed by any latency (no "
+                         "address-based dependences in the simulator) "
+                         "so learning inflates it instead.\n";
+        });
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reproduces Figure 5: the simulator's error sensitivity to
+ * DispatchWidth (top) and ReorderBufferSize (bottom), sweeping each
+ * parameter within the default and the learned Haswell tables.
+ *
+ * Expected shape: sharp sensitivity to DispatchWidth around its
+ * optimum; near-total insensitivity to ReorderBufferSize above a
+ * small threshold (llvm-mca's L1-only modeling keeps the ROB from
+ * being the bottleneck).
+ */
+
+#include "bench/bench_util.hh"
+#include "core/evaluate.hh"
+#include "core/experiment.hh"
+#include "hw/default_table.hh"
+#include "mca/xmca.hh"
+
+int
+main()
+{
+    using namespace difftune;
+    setVerbose(false);
+    return bench::runBench(
+        "bench_fig5_sensitivity: error vs DispatchWidth / "
+        "ReorderBufferSize (Haswell)",
+        "Figure 5 (parameter sensitivity)", [] {
+            const auto &dataset =
+                core::sharedDataset(hw::Uarch::Haswell);
+            mca::XMca sim;
+            auto def = hw::defaultTable(hw::Uarch::Haswell);
+            auto learned =
+                core::learnedTable(hw::Uarch::Haswell, "full", 1);
+
+            TextTable dw_table({"DispatchWidth", "Err (default tbl)",
+                                "Err (learned tbl)"});
+            for (int dw = 1; dw <= 10; ++dw) {
+                auto def_t = def;
+                auto lrn_t = learned;
+                def_t.dispatchWidth = dw;
+                lrn_t.dispatchWidth = dw;
+                dw_table.addRow(
+                    {std::to_string(dw),
+                     fmtPercent(core::evaluate(sim, def_t, dataset,
+                                               dataset.test())
+                                    .error),
+                     fmtPercent(core::evaluate(sim, lrn_t, dataset,
+                                               dataset.test())
+                                    .error)});
+            }
+            std::cout << dw_table.render();
+            std::cout << "(paper, default table: dw=3 -> 33.5%, 4 -> "
+                         "25.0%, 5 -> 26.8%)\n\n";
+
+            TextTable rob_table({"ReorderBufferSize",
+                                 "Err (default tbl)",
+                                 "Err (learned tbl)"});
+            for (int rob : {10, 20, 40, 70, 100, 150, 200, 250, 300,
+                            400}) {
+                auto def_t = def;
+                auto lrn_t = learned;
+                def_t.reorderBufferSize = rob;
+                lrn_t.reorderBufferSize = rob;
+                rob_table.addRow(
+                    {std::to_string(rob),
+                     fmtPercent(core::evaluate(sim, def_t, dataset,
+                                               dataset.test())
+                                    .error),
+                     fmtPercent(core::evaluate(sim, lrn_t, dataset,
+                                               dataset.test())
+                                    .error)});
+            }
+            std::cout << rob_table.render();
+            std::cout << "(paper: flat above ROB ~70 — the ROB is "
+                         "rarely the bottleneck under the L1-only "
+                         "assumption)\n";
+        });
+}

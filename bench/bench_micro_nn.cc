@@ -1,0 +1,116 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the neural substrate: matvec,
+ * LSTM step, full surrogate forward and forward+backward. These
+ * document the per-sample training cost behind the Table IV
+ * pipelines.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "isa/parse.hh"
+#include "nn/modules.hh"
+#include "surrogate/model.hh"
+
+namespace
+{
+
+using namespace difftune;
+
+void
+BM_MatVec(benchmark::State &state)
+{
+    const int n = int(state.range(0));
+    Rng rng(1);
+    nn::ParamSet params;
+    int w = params.add(n, n);
+    params[w].uniformInit(rng, 0.1);
+    nn::Tensor x(n, 1);
+    x.uniformInit(rng, 1.0);
+    for (auto _ : state) {
+        nn::Graph g;
+        nn::Var wv = g.param(params, w, nullptr);
+        benchmark::DoNotOptimize(g.matmul(wv, g.input(nn::Tensor(x))));
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_MatVec)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_LstmStep(benchmark::State &state)
+{
+    const int h = int(state.range(0));
+    Rng rng(2);
+    nn::ParamSet params;
+    nn::LstmCell cell(params, h, h, rng);
+    nn::Tensor x(h, 1);
+    x.uniformInit(rng, 1.0);
+    for (auto _ : state) {
+        nn::Graph g;
+        nn::Ctx ctx{g, params, nullptr};
+        auto s = cell.initial(ctx);
+        benchmark::DoNotOptimize(
+            cell.step(ctx, g.input(nn::Tensor(x)), s));
+    }
+}
+BENCHMARK(BM_LstmStep)->Arg(32)->Arg(64);
+
+surrogate::Model &
+benchModel()
+{
+    static surrogate::Model model(
+        [] {
+            surrogate::ModelConfig cfg;
+            cfg.hidden = 64;
+            cfg.embedDim = 32;
+            cfg.tokenLayers = 1;
+            cfg.blockLayers = 2;
+            cfg.paramDim = 0;
+            return cfg;
+        }(),
+        isa::theVocab().size());
+    return model;
+}
+
+const surrogate::EncodedBlock &
+benchBlock()
+{
+    static const surrogate::EncodedBlock block =
+        surrogate::encodeBlock(isa::parseBlock(
+            "MOV64rm 8(%rsi), %rdi\n"
+            "ADD64rr %rdi, %rbx\n"
+            "IMUL64rr %rbx, %rcx\n"
+            "CMP64rr %rcx, %rdx\n"
+            "PUSH64r %rbx\n"));
+    return block;
+}
+
+void
+BM_SurrogateForward(benchmark::State &state)
+{
+    auto &model = benchModel();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.predict(benchBlock()));
+}
+BENCHMARK(BM_SurrogateForward);
+
+void
+BM_SurrogateForwardBackward(benchmark::State &state)
+{
+    auto &model = benchModel();
+    nn::Grads grads(model.params());
+    for (auto _ : state) {
+        grads.zero();
+        nn::Graph g;
+        nn::Ctx ctx{g, model.params(), &grads};
+        nn::Var pred = g.exp(model.forward(ctx, benchBlock(), {}));
+        nn::Var loss = g.lossMape(pred, 2.0, 0.05);
+        g.backward(loss);
+        benchmark::DoNotOptimize(g.scalarValue(loss));
+    }
+}
+BENCHMARK(BM_SurrogateForwardBackward);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator substrates:
+ * XMca, RefMachine, USim and the analytical model, across block
+ * sizes. These are throughput benchmarks (not paper artifacts); they
+ * document the cost of one f(theta, x) evaluation, which drives the
+ * OpenTuner budget and the simulated-dataset collection time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analytical/iaca.hh"
+#include "bhive/generator.hh"
+#include "hw/default_table.hh"
+#include "hw/ref_machine.hh"
+#include "mca/xmca.hh"
+#include "usim/usim.hh"
+
+namespace
+{
+
+using namespace difftune;
+
+isa::BasicBlock
+blockOfSize(int target)
+{
+    Rng rng(1234 + target);
+    isa::BasicBlock block;
+    while (int(block.size()) < target) {
+        auto chunk =
+            bhive::generateBlock(rng, bhive::appProfile(
+                                          bhive::App::Clang));
+        for (auto &inst : chunk.insts) {
+            if (int(block.size()) >= target)
+                break;
+            block.insts.push_back(inst);
+        }
+    }
+    return block;
+}
+
+void
+BM_XMcaTiming(benchmark::State &state)
+{
+    const auto block = blockOfSize(int(state.range(0)));
+    const auto table = hw::defaultTable(hw::Uarch::Haswell);
+    mca::XMca sim;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.timing(block, table));
+    state.SetItemsProcessed(state.iterations() * block.size() * 100);
+}
+BENCHMARK(BM_XMcaTiming)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_RefMachineMeasure(benchmark::State &state)
+{
+    const auto block = blockOfSize(int(state.range(0)));
+    hw::RefMachine machine(hw::Uarch::Haswell);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(machine.measure(block));
+    state.SetItemsProcessed(state.iterations() * block.size() * 100);
+}
+BENCHMARK(BM_RefMachineMeasure)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_USimTiming(benchmark::State &state)
+{
+    const auto block = blockOfSize(int(state.range(0)));
+    const auto table = hw::defaultTable(hw::Uarch::Haswell);
+    usim::USim sim;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.timing(block, table));
+}
+BENCHMARK(BM_USimTiming)->Arg(4)->Arg(16);
+
+void
+BM_AnalyticalTiming(benchmark::State &state)
+{
+    const auto block = blockOfSize(int(state.range(0)));
+    analytical::XIaca model(hw::Uarch::Haswell);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.timing(block));
+}
+BENCHMARK(BM_AnalyticalTiming)->Arg(4)->Arg(16);
+
+void
+BM_BlockGeneration(benchmark::State &state)
+{
+    Rng rng(7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bhive::generateBlock(
+            rng, bhive::appProfile(bhive::App::TensorFlow)));
+}
+BENCHMARK(BM_BlockGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

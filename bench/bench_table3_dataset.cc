@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces Table III: dataset summary statistics.
+ */
+
+#include "bench/bench_util.hh"
+#include "core/experiment.hh"
+
+int
+main()
+{
+    using namespace difftune;
+    setVerbose(false);
+    return bench::runBench(
+        "bench_table3_dataset: synthetic BHive summary statistics",
+        "Table III (dataset summary statistics)", [] {
+            const auto &corpus = core::sharedCorpus();
+            std::vector<const bhive::Dataset *> datasets;
+            for (hw::Uarch uarch : hw::allUarches())
+                datasets.push_back(&core::sharedDataset(uarch));
+            auto summary = bhive::summarize(corpus, datasets);
+
+            TextTable table({"Statistic", "Ours", "Paper (BHive)"});
+            table.addRow({"# Blocks: Train",
+                          std::to_string(summary.trainBlocks),
+                          "230111"});
+            table.addRow({"# Blocks: Validation",
+                          std::to_string(summary.validBlocks), "28764"});
+            table.addRow({"# Blocks: Test",
+                          std::to_string(summary.testBlocks), "28764"});
+            table.addSeparator();
+            table.addRow({"Block length: Min",
+                          std::to_string(summary.minLength), "1"});
+            table.addRow({"Block length: Median",
+                          fmtDouble(summary.medianLength, 1), "3"});
+            table.addRow({"Block length: Mean",
+                          fmtDouble(summary.meanLength, 2), "4.93"});
+            table.addRow({"Block length: Max",
+                          std::to_string(summary.maxLength),
+                          "256 (ours caps at 64)"});
+            table.addSeparator();
+            const char *paper_timing[] = {"132", "123", "120", "114"};
+            for (size_t i = 0; i < summary.medianTimings.size(); ++i) {
+                table.addRow(
+                    {"Median timing: " + summary.medianTimings[i].first,
+                     fmtDouble(summary.medianTimings[i].second, 0),
+                     paper_timing[i]});
+            }
+            table.addSeparator();
+            table.addRow({"# Unique opcodes: Train",
+                          std::to_string(summary.trainOpcodes), "814"});
+            table.addRow({"# Unique opcodes: Val",
+                          std::to_string(summary.validOpcodes), "610"});
+            table.addRow({"# Unique opcodes: Test",
+                          std::to_string(summary.testOpcodes), "580"});
+            table.addRow({"# Unique opcodes: Total",
+                          std::to_string(summary.totalOpcodes), "837"});
+            std::cout << table.render();
+        });
+}

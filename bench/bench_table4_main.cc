@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Reproduces Table IV: error and Kendall's tau of the default tables,
+ * DiffTune-learned tables, Ithemal, IACA-analog and OpenTuner across
+ * the four microarchitectures.
+ *
+ * Expected shape (paper): DiffTune matches or beats the defaults on
+ * every uarch; Ithemal is clearly best; the analytical model sits in
+ * between (Intel only); OpenTuner exceeds 100% error.
+ */
+
+#include "analytical/iaca.hh"
+#include "bench/bench_util.hh"
+#include "core/evaluate.hh"
+#include "core/experiment.hh"
+#include "hw/default_table.hh"
+#include "mca/xmca.hh"
+#include "tuner/opentuner.hh"
+
+namespace
+{
+
+using namespace difftune;
+
+struct PaperRow
+{
+    const char *def, *dt, *ithemal, *iaca, *ot;
+};
+
+const PaperRow paperRows[] = {
+    {"33.5%/0.788", "25.4%/0.735", "9.4%/0.858", "15.7%/0.810",
+     "102.0%/0.515"},
+    {"25.0%/0.783", "23.7%/0.745", "9.2%/0.854", "17.1%/0.800",
+     "105.4%/0.522"},
+    {"26.7%/0.776", "23.0%/0.748", "9.3%/0.859", "14.3%/0.811",
+     "113.0%/0.516"},
+    {"34.9%/0.794", "26.1%/0.689", "9.4%/0.873", "N/A",
+     "131.3%/0.494"},
+};
+
+std::string
+cell(const core::EvalResult &result)
+{
+    return fmtPercent(result.error) + "/" +
+           fmtDouble(result.kendallTau, 3);
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(envLong("DIFFTUNE_VERBOSE", 0) != 0);
+    return bench::runBench(
+        "bench_table4_main: error of llvm-mca-analog with default and "
+        "learned parameters vs baselines",
+        "Table IV (main results)", [] {
+            mca::XMca sim;
+            TextTable table({"Arch", "Predictor", "Ours (err/tau)",
+                             "Paper (err/tau)"});
+            int row = 0;
+            for (hw::Uarch uarch : hw::allUarches()) {
+                const auto &dataset = core::sharedDataset(uarch);
+                const char *arch = hw::uarchName(uarch);
+                const PaperRow &paper = paperRows[row++];
+
+                // Default expert table.
+                auto def = hw::defaultTable(uarch);
+                auto def_eval =
+                    core::evaluate(sim, def, dataset, dataset.test());
+                table.addRow({arch, "Default", cell(def_eval),
+                              paper.def});
+
+                // DiffTune-learned table (cached across benches).
+                auto learned = core::learnedTable(uarch, "full", 1);
+                auto dt_eval = core::evaluate(sim, learned, dataset,
+                                              dataset.test());
+                table.addRow({arch, "DiffTune", cell(dt_eval),
+                              paper.dt});
+
+                // Ithemal baseline.
+                core::Ithemal ithemal(dataset,
+                                      core::standardIthemal(7));
+                ithemal.train();
+                auto ith_eval = ithemal.evaluate(dataset.test());
+                table.addRow({arch, "Ithemal", cell(ith_eval),
+                              paper.ithemal});
+
+                // IACA-analog (Intel only).
+                if (analytical::XIaca::supports(uarch)) {
+                    analytical::XIaca iaca(uarch);
+                    std::vector<double> preds;
+                    preds.reserve(dataset.test().size());
+                    for (const auto &entry : dataset.test())
+                        preds.push_back(
+                            iaca.timing(dataset.block(entry)));
+                    auto iaca_eval = core::evaluatePredictions(
+                        std::move(preds), dataset.test());
+                    table.addRow({arch, "IACA-analog", cell(iaca_eval),
+                                  paper.iaca});
+                } else {
+                    table.addRow({arch, "IACA-analog", "N/A",
+                                  paper.iaca});
+                }
+
+                // OpenTuner with DiffTune's simulator-eval budget.
+                tuner::TunerConfig tuner_cfg;
+                tuner_cfg.evalBudget = long(
+                    core::standardConfig(1).simulatedMultiple *
+                    double(dataset.train().size())) +
+                    20000;
+                tuner_cfg.seed = 17;
+                tuner::OpenTuner opentuner(sim, dataset, def,
+                                           tuner_cfg);
+                auto tuned = opentuner.run();
+                auto ot_eval = core::evaluate(sim, tuned.best, dataset,
+                                              dataset.test());
+                table.addRow({arch, "OpenTuner", cell(ot_eval),
+                              paper.ot});
+                table.addSeparator();
+            }
+            std::cout << table.render();
+        });
+}

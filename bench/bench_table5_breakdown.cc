@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Reproduces Table V: Haswell error grouped by BHive source
+ * application and by hardware-resource category, default vs learned.
+ */
+
+#include <array>
+#include <cmath>
+
+#include "bench/bench_util.hh"
+#include "core/evaluate.hh"
+#include "core/experiment.hh"
+#include "hw/default_table.hh"
+#include "mca/xmca.hh"
+
+namespace
+{
+
+using namespace difftune;
+
+struct GroupError
+{
+    long count = 0;
+    double defaultSum = 0.0;
+    double learnedSum = 0.0;
+};
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    return bench::runBench(
+        "bench_table5_breakdown: Haswell per-application and "
+        "per-category error",
+        "Table V (per-application / per-category breakdown)", [] {
+            const auto &dataset =
+                core::sharedDataset(hw::Uarch::Haswell);
+            mca::XMca sim;
+            auto def = hw::defaultTable(hw::Uarch::Haswell);
+            auto learned =
+                core::learnedTable(hw::Uarch::Haswell, "full", 1);
+
+            auto def_eval =
+                core::evaluate(sim, def, dataset, dataset.test());
+            auto dt_eval =
+                core::evaluate(sim, learned, dataset, dataset.test());
+
+            std::array<GroupError, bhive::numApps> by_app;
+            std::array<GroupError, bhive::numCategories> by_cat;
+            for (size_t i = 0; i < dataset.test().size(); ++i) {
+                const auto &entry = dataset.test()[i];
+                const auto &info = dataset.info(entry);
+                const double de =
+                    std::fabs(def_eval.predictions[i] - entry.timing) /
+                    entry.timing;
+                const double le =
+                    std::fabs(dt_eval.predictions[i] - entry.timing) /
+                    entry.timing;
+                for (int app = 0; app < bhive::numApps; ++app) {
+                    if (!info.fromApp(bhive::App(app)))
+                        continue;
+                    by_app[app].count++;
+                    by_app[app].defaultSum += de;
+                    by_app[app].learnedSum += le;
+                }
+                auto &cat = by_cat[int(info.category)];
+                cat.count++;
+                cat.defaultSum += de;
+                cat.learnedSum += le;
+            }
+
+            // Paper's Haswell numbers for reference.
+            const char *paper_apps[] = {
+                "28.8% -> 29.0%", "41.2% -> 22.5%", "32.8% -> 21.6%",
+                "40.6% -> 20.6%", "33.5% -> 22.1%", "22.0% -> 21.0%",
+                "44.3% -> 23.8%", "34.1% -> 21.3%", "30.9% -> 21.2%"};
+            const char *paper_cats[] = {
+                "17.2% -> 18.9%", "35.3% -> 39.6%", "53.6% -> 37.5%",
+                "27.2% -> 24.4%", "24.7% -> 8.7%", "27.9% -> 30.3%"};
+
+            TextTable table({"Block type", "# Blocks", "Default err",
+                             "Learned err", "Paper (def -> learned)"});
+            for (int app = 0; app < bhive::numApps; ++app) {
+                const auto &group = by_app[app];
+                if (group.count == 0)
+                    continue;
+                table.addRow(
+                    {bhive::appName(bhive::App(app)),
+                     std::to_string(group.count),
+                     fmtPercent(group.defaultSum / group.count),
+                     fmtPercent(group.learnedSum / group.count),
+                     paper_apps[app]});
+            }
+            table.addSeparator();
+            for (int cat = 0; cat < bhive::numCategories; ++cat) {
+                const auto &group = by_cat[cat];
+                if (group.count == 0)
+                    continue;
+                table.addRow(
+                    {bhive::categoryName(bhive::Category(cat)),
+                     std::to_string(group.count),
+                     fmtPercent(group.defaultSum / group.count),
+                     fmtPercent(group.learnedSum / group.count),
+                     paper_cats[cat]});
+            }
+            std::cout << table.render();
+        });
+}

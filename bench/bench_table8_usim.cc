@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces Table VIII (Appendix A): DiffTune on the llvm_sim-analog
+ * USim, learning the parameters it reads (WriteLatency + PortMap).
+ *
+ * Expected shape: USim's default error is much higher than XMca's
+ * (its model is a worse fit), and learning reduces it substantially
+ * (paper: 61.3% -> 44.1%); OpenTuner stays above 100%.
+ */
+
+#include "bench/bench_util.hh"
+#include "core/evaluate.hh"
+#include "core/experiment.hh"
+#include "hw/default_table.hh"
+#include "tuner/opentuner.hh"
+#include "usim/usim.hh"
+
+int
+main()
+{
+    using namespace difftune;
+    setVerbose(envLong("DIFFTUNE_VERBOSE", 0) != 0);
+    return bench::runBench(
+        "bench_table8_usim: llvm_sim-analog with default and learned "
+        "parameters",
+        "Table VIII (llvm_sim, Haswell)", [] {
+            const auto &dataset =
+                core::sharedDataset(hw::Uarch::Haswell);
+            usim::USim sim;
+            auto def = hw::defaultTable(hw::Uarch::Haswell);
+
+            TextTable table({"Predictor", "Ours (err/tau)",
+                             "Paper (err/tau)"});
+            auto cell = [](const core::EvalResult &eval) {
+                return fmtPercent(eval.error) + "/" +
+                       fmtDouble(eval.kendallTau, 3);
+            };
+
+            auto def_eval =
+                core::evaluate(sim, def, dataset, dataset.test());
+            table.addRow({"Default", cell(def_eval), "61.3%/0.726"});
+
+            auto learned =
+                core::learnedTable(hw::Uarch::Haswell, "usim", 1);
+            auto dt_eval =
+                core::evaluate(sim, learned, dataset, dataset.test());
+            table.addRow({"DiffTune", cell(dt_eval), "44.1%/0.718"});
+
+            core::Ithemal ithemal(dataset, core::standardIthemal(7));
+            ithemal.train();
+            table.addRow({"Ithemal",
+                          cell(ithemal.evaluate(dataset.test())),
+                          "9.2%/0.854"});
+
+            tuner::TunerConfig tuner_cfg;
+            tuner_cfg.dist = params::SamplingDist::usim();
+            tuner_cfg.evalBudget =
+                long(core::standardConfig(1).simulatedMultiple *
+                     double(dataset.train().size())) +
+                20000;
+            tuner_cfg.seed = 29;
+            tuner::OpenTuner opentuner(sim, dataset, def, tuner_cfg);
+            auto tuned = opentuner.run();
+            auto ot_eval = core::evaluate(sim, tuned.best, dataset,
+                                          dataset.test());
+            table.addRow({"OpenTuner", cell(ot_eval),
+                          "115.6%/0.507"});
+            std::cout << table.render();
+        });
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness binaries. Each bench
+ * reproduces one table or figure of the paper and prints our measured
+ * values next to the paper's reported ones.
+ */
+
+#ifndef DIFFTUNE_BENCH_BENCH_UTIL_HH
+#define DIFFTUNE_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "base/env.hh"
+#include "base/logging.hh"
+#include "base/table.hh"
+
+namespace difftune::bench
+{
+
+/** Print the bench banner. */
+inline void
+banner(const std::string &what, const std::string &paper_ref)
+{
+    std::cout << "==========================================================\n"
+              << what << "\n"
+              << "reproduces: " << paper_ref << "\n"
+              << "scale: DIFFTUNE_SCALE=" << experimentScale()
+              << " (absolute numbers shift with scale; shapes should "
+                 "hold)\n"
+              << "==========================================================\n";
+}
+
+/** Wrap a bench body with fatal-error handling. */
+template <typename Body>
+int
+runBench(const std::string &what, const std::string &paper_ref,
+         Body &&body)
+{
+    banner(what, paper_ref);
+    try {
+        body();
+    } catch (const std::exception &error) {
+        std::cerr << "bench failed: " << error.what() << std::endl;
+        return 1;
+    }
+    std::cout << std::endl;
+    return 0;
+}
+
+} // namespace difftune::bench
+
+#endif // DIFFTUNE_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * XIaca implementation.
+ */
+
+#include "analytical/iaca.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "base/logging.hh"
+#include "hw/inst_model.hh"
+
+namespace difftune::analytical
+{
+
+XIaca::XIaca(hw::Uarch uarch) : config_(hw::uarchConfig(uarch))
+{
+    fatal_if(!supports(uarch),
+             "XIaca only analyzes Intel microarchitectures (got {})",
+             hw::uarchName(uarch));
+}
+
+bool
+XIaca::supports(hw::Uarch uarch)
+{
+    return hw::isIntel(uarch);
+}
+
+double
+XIaca::timing(const isa::BasicBlock &block) const
+{
+    using isa::MemMode;
+    using isa::OpClass;
+    if (block.empty())
+        return 0.0;
+
+    // ---- Frontend bound: renamed micro-ops per iteration.
+    double uops = 0.0;
+    // ---- Resource pressure per functional-class pool.
+    std::array<double, size_t(OpClass::NumOpClasses)> pressure{};
+    double load_uops = 0.0, store_uops = 0.0;
+
+    for (const auto &inst : block.insts) {
+        const auto &op = inst.info();
+        const hw::InstTiming timing = hw::instTiming(config_, inst.opcode);
+        const bool eliminated =
+            inst.isZeroIdiom() || timing.eliminable;
+        uops += eliminated ? 1.0 : double(timing.uops);
+        if (eliminated)
+            continue;
+        if (op.mem == MemMode::Load || op.mem == MemMode::LoadStore)
+            load_uops += 1.0;
+        if (op.mem == MemMode::Store || op.mem == MemMode::LoadStore)
+            store_uops += 1.0;
+        if (op.opClass != OpClass::Nop && op.opClass != OpClass::Load &&
+            op.opClass != OpClass::Store) {
+            const auto &cls = config_.classTiming[size_t(op.opClass)];
+            pressure[size_t(op.opClass)] +=
+                double(timing.occupancy) / double(std::max(1, cls.units));
+        }
+    }
+
+    double bound = uops / double(config_.renameWidth);
+    for (size_t cls = 0; cls < pressure.size(); ++cls)
+        bound = std::max(bound, pressure[cls]);
+    bound = std::max(bound, load_uops / 2.0);
+    bound = std::max(bound, store_uops);
+
+    // ---- Dependence bound: steady-state slope of the latency-only
+    // recurrence (registers + store-to-load forwarding), measured
+    // over unrolled iterations.
+    constexpr int warm = 8, span = 16;
+    std::array<double, isa::numRegs> ready{};
+    std::vector<std::pair<uint32_t, double>> mem_ready;
+    double warm_finish = 0.0, finish = 0.0;
+    for (int iter = 0; iter < warm + span; ++iter) {
+        for (const auto &inst : block.insts) {
+            const auto &op = inst.info();
+            const hw::InstTiming timing =
+                hw::instTiming(config_, inst.opcode);
+            const bool eliminated =
+                inst.isZeroIdiom() || timing.eliminable;
+
+            double start = 0.0;
+            for (isa::RegId reg : inst.reads) {
+                if (op.stackOp && reg == isa::stackPointer)
+                    continue;
+                start = std::max(start, ready[reg]);
+            }
+            double result = start;
+            if (!eliminated) {
+                const bool has_load = op.mem == MemMode::Load ||
+                                      op.mem == MemMode::LoadStore;
+                const bool has_store = op.mem == MemMode::Store ||
+                                       op.mem == MemMode::LoadStore;
+                const uint32_t key = inst.mem.addressKey();
+                if (has_load && !op.stackOp) {
+                    double data = start + config_.l1Latency;
+                    for (const auto &[mem_key, t] : mem_ready)
+                        if (mem_key == key)
+                            data = std::max(data, t);
+                    result = data;
+                }
+                if (op.opClass != OpClass::Load &&
+                    op.opClass != OpClass::Store &&
+                    op.opClass != OpClass::Nop)
+                    result += timing.execLatency;
+                if (has_store && !op.stackOp) {
+                    const double fwd =
+                        result + config_.storeForwardDelay;
+                    bool found = false;
+                    for (auto &[mem_key, t] : mem_ready) {
+                        if (mem_key == key) {
+                            t = fwd;
+                            found = true;
+                        }
+                    }
+                    if (!found)
+                        mem_ready.emplace_back(key, fwd);
+                }
+            }
+            for (isa::RegId reg : inst.writes) {
+                if (op.stackOp && reg == isa::stackPointer)
+                    continue;
+                ready[reg] = result;
+            }
+            finish = std::max(finish, result);
+        }
+        if (iter + 1 == warm)
+            warm_finish = finish;
+    }
+    const double chain = (finish - warm_finish) / double(span);
+    return std::max(bound, chain);
+}
+
+} // namespace difftune::analytical

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * XIaca: an IACA-style analytical throughput model.
+ *
+ * IACA is Intel's closed-source static analyzer; in Table IV it is
+ * the most accurate *analytical* baseline, Intel-only. Our stand-in
+ * follows the same recipe analytical models use: predicted timing is
+ * the maximum of (a) the frontend bound (micro-ops / dispatch width),
+ * (b) the per-resource port-pressure bound, and (c) the dependence-
+ * chain bound across loop iterations (critical cycle through
+ * registers and memory). Its internal tables are tuned per Intel
+ * microarchitecture with knowledge llvm-mca's model lacks (zero
+ * idioms, move elimination, store forwarding), which is why it sits
+ * between Ithemal and llvm-mca in accuracy — and, like IACA, it
+ * refuses to predict AMD (Zen 2) targets.
+ */
+
+#ifndef DIFFTUNE_ANALYTICAL_IACA_HH
+#define DIFFTUNE_ANALYTICAL_IACA_HH
+
+#include "hw/uarch.hh"
+#include "isa/instruction.hh"
+
+namespace difftune::analytical
+{
+
+/** Analytical throughput model, Intel microarchitectures only. */
+class XIaca
+{
+  public:
+    /**
+     * @param uarch target microarchitecture; must be Intel
+     *        (supports() reports false for Zen 2, and predictions
+     *        are unavailable there, matching Table IV's "N/A")
+     */
+    explicit XIaca(hw::Uarch uarch);
+
+    /** @return whether the model covers @p uarch. */
+    static bool supports(hw::Uarch uarch);
+
+    /** Predicted steady-state timing (cycles per block iteration). */
+    double timing(const isa::BasicBlock &block) const;
+
+  private:
+    const hw::UarchConfig &config_;
+};
+
+} // namespace difftune::analytical
+
+#endif // DIFFTUNE_ANALYTICAL_IACA_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Implementation of environment-variable configuration knobs.
+ */
+
+#include "base/env.hh"
+
+#include <cstdlib>
+#include <thread>
+
+#include "base/logging.hh"
+
+namespace difftune
+{
+
+double
+envDouble(const char *name, double default_value)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return default_value;
+    char *end = nullptr;
+    double parsed = std::strtod(value, &end);
+    fatal_if(end == value, "environment variable {} is not a number: {}",
+             name, value);
+    return parsed;
+}
+
+long
+envLong(const char *name, long default_value)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return default_value;
+    char *end = nullptr;
+    long parsed = std::strtol(value, &end, 10);
+    fatal_if(end == value, "environment variable {} is not an integer: {}",
+             name, value);
+    return parsed;
+}
+
+std::string
+envString(const char *name, const std::string &default_value)
+{
+    const char *value = std::getenv(name);
+    return (value && *value) ? std::string(value) : default_value;
+}
+
+double
+experimentScale()
+{
+    static const double scale = envDouble("DIFFTUNE_SCALE", 1.0);
+    return scale;
+}
+
+long
+scaledCount(long base, long min_value)
+{
+    long scaled = static_cast<long>(base * experimentScale());
+    return scaled < min_value ? min_value : scaled;
+}
+
+int
+workerThreads()
+{
+    static const int threads = [] {
+        long requested = envLong("DIFFTUNE_THREADS", 0);
+        if (requested > 0)
+            return static_cast<int>(requested);
+        unsigned hw = std::thread::hardware_concurrency();
+        return hw == 0 ? 1 : static_cast<int>(hw);
+    }();
+    return threads;
+}
+
+} // namespace difftune

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Environment-variable configuration knobs.
+ *
+ * Benchmarks default to a reduced-but-faithful scale; DIFFTUNE_SCALE
+ * multiplies dataset sizes and training epochs so the same binaries can
+ * run paper-scale experiments.
+ */
+
+#ifndef DIFFTUNE_BASE_ENV_HH
+#define DIFFTUNE_BASE_ENV_HH
+
+#include <string>
+
+namespace difftune
+{
+
+/** Read an environment variable as double, with a default. */
+double envDouble(const char *name, double default_value);
+
+/** Read an environment variable as long, with a default. */
+long envLong(const char *name, long default_value);
+
+/** Read an environment variable as string, with a default. */
+std::string envString(const char *name, const std::string &default_value);
+
+/** Global experiment scale factor (DIFFTUNE_SCALE, default 1.0). */
+double experimentScale();
+
+/** Scale a count by experimentScale(), with a floor of @p min_value. */
+long scaledCount(long base, long min_value = 1);
+
+/** Number of worker threads (DIFFTUNE_THREADS, default: hardware). */
+int workerThreads();
+
+} // namespace difftune
+
+#endif // DIFFTUNE_BASE_ENV_HH

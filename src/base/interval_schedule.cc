@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Interval-schedule implementation.
+ */
+
+#include "base/interval_schedule.hh"
+
+#include <algorithm>
+
+namespace difftune
+{
+
+int64_t
+UnitSchedule::nextFree(int64_t ready, int occupancy) const
+{
+    int64_t start = ready;
+    // Intervals are sorted and disjoint; scan for the first gap that
+    // fits. Starting from the first interval ending after `start`.
+    for (const auto &[busy_start, busy_end] : intervals_) {
+        if (busy_end <= start)
+            continue;
+        if (start + occupancy <= busy_start)
+            return start; // fits in the gap before this interval
+        start = std::max(start, busy_end);
+    }
+    return start;
+}
+
+void
+UnitSchedule::reserve(int64_t start, int occupancy)
+{
+    if (occupancy <= 0)
+        return;
+    const std::pair<int64_t, int64_t> interval{start, start + occupancy};
+    auto pos = std::lower_bound(intervals_.begin(), intervals_.end(),
+                                interval);
+    // Merge with neighbours when adjacent to keep the list small.
+    if (pos != intervals_.begin()) {
+        auto prev = pos - 1;
+        if (prev->second == interval.first) {
+            prev->second = interval.second;
+            if (pos != intervals_.end() && pos->first == prev->second) {
+                prev->second = pos->second;
+                intervals_.erase(pos);
+            }
+            return;
+        }
+    }
+    if (pos != intervals_.end() && pos->first == interval.second) {
+        pos->first = interval.first;
+        return;
+    }
+    intervals_.insert(pos, interval);
+}
+
+void
+UnitSchedule::prune(int64_t horizon)
+{
+    auto keep = std::find_if(intervals_.begin(), intervals_.end(),
+                             [horizon](const auto &interval) {
+                                 return interval.second > horizon;
+                             });
+    intervals_.erase(intervals_.begin(), keep);
+}
+
+int64_t
+PoolSchedule::acquire(int64_t ready, int occupancy)
+{
+    int best_unit = -1;
+    int64_t best_start = 0;
+    for (size_t u = 0; u < units_.size(); ++u) {
+        const int64_t start = units_[u].nextFree(ready, occupancy);
+        if (best_unit < 0 || start < best_start) {
+            best_unit = int(u);
+            best_start = start;
+        }
+    }
+    units_[best_unit].reserve(best_start, occupancy);
+    return best_start;
+}
+
+void
+PoolSchedule::prune(int64_t horizon)
+{
+    for (auto &unit : units_)
+        unit.prune(horizon);
+}
+
+int64_t
+PortSchedule::acquireJoint(const std::vector<Requirement> &requirements,
+                           int64_t ready)
+{
+    int64_t start = ready;
+    if (requirements.empty())
+        return start;
+    // Fixpoint: raise `start` until every port can host its occupancy
+    // at the common start cycle. Terminates because every iteration
+    // strictly raises `start`, bounded by the last reservation end.
+    bool stable = false;
+    while (!stable) {
+        stable = true;
+        for (const auto &[port, occupancy] : requirements) {
+            const int64_t t = ports_[port].nextFree(start, occupancy);
+            if (t > start) {
+                start = t;
+                stable = false;
+            }
+        }
+    }
+    for (const auto &[port, occupancy] : requirements)
+        ports_[port].reserve(start, occupancy);
+    return start;
+}
+
+void
+PortSchedule::prune(int64_t horizon)
+{
+    for (auto &port : ports_)
+        port.prune(horizon);
+}
+
+} // namespace difftune

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Implementation of the logging helpers.
+ */
+
+#include "base/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace difftune
+{
+
+namespace
+{
+bool verboseFlag = true;
+} // namespace
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    // Throwing (rather than exit(1)) keeps fatal() testable; main()
+    // wrappers convert uncaught FatalError into exit(1).
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (verboseFlag)
+        std::cerr << "info: " << msg << std::endl;
+}
+
+void
+setVerbose(bool verbose)
+{
+    verboseFlag = verbose;
+}
+
+bool
+verbose()
+{
+    return verboseFlag;
+}
+
+} // namespace difftune

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Deterministic fork-join parallel-for over index ranges.
+ *
+ * Work is partitioned into contiguous shards, one per worker, so that
+ * the assignment of items to threads is a pure function of (n, number
+ * of workers); combined with per-shard RNG forks this keeps parallel
+ * runs bit-reproducible.
+ */
+
+#ifndef DIFFTUNE_BASE_PARALLEL_HH
+#define DIFFTUNE_BASE_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace difftune
+{
+
+/**
+ * Run @p body(begin, end, shard) over a deterministic partition of
+ * [0, n) into at most @p max_workers contiguous shards. The calling
+ * thread participates; shard 0 runs on the caller.
+ *
+ * @param n total number of items
+ * @param max_workers upper bound on concurrency (<=0: use default)
+ * @param body callable (size_t begin, size_t end, int shard)
+ * @return the number of shards actually used
+ */
+int parallelShards(
+    size_t n, int max_workers,
+    const std::function<void(size_t, size_t, int)> &body);
+
+/** parallelShards with per-item granularity body(i). */
+void parallelFor(size_t n, int max_workers,
+                 const std::function<void(size_t)> &body);
+
+} // namespace difftune
+
+#endif // DIFFTUNE_BASE_PARALLEL_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Deterministic, seedable random number generation.
+ *
+ * Every stochastic component in the library draws from an explicitly
+ * seeded Rng so that datasets, training runs and benchmarks are fully
+ * reproducible across machines (std::mt19937 distributions are not
+ * guaranteed identical across standard libraries, so we implement the
+ * generator and the distributions ourselves).
+ */
+
+#ifndef DIFFTUNE_BASE_RANDOM_HH
+#define DIFFTUNE_BASE_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace difftune
+{
+
+/** SplitMix64: used for seeding and cheap hashing. */
+inline uint64_t
+splitMix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** generator with library-owned distribution
+ * implementations. Small, fast and reproducible.
+ */
+class Rng
+{
+  public:
+    /** Seed the generator; distinct seeds give independent streams. */
+    explicit Rng(uint64_t seed = 0)
+    {
+        uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitMix64(sm);
+    }
+
+    /** Next raw 64-bit draw. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    int64_t
+    uniformInt(int64_t lo, int64_t hi)
+    {
+        const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+        // Multiply-shift bounded rejection-free mapping (Lemire);
+        // bias is negligible for our span sizes.
+        const unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * span;
+        return lo + static_cast<int64_t>(m >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniformReal()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniformReal(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniformReal();
+    }
+
+    /** Standard normal via Box-Muller (deterministic, stateless pairs). */
+    double
+    normal()
+    {
+        if (haveSpare_) {
+            haveSpare_ = false;
+            return spare_;
+        }
+        double u1 = uniformReal();
+        double u2 = uniformReal();
+        // Avoid log(0).
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 2.0 * M_PI * u2;
+        spare_ = r * std::sin(theta);
+        haveSpare_ = true;
+        return r * std::cos(theta);
+    }
+
+    /** Normal with the given mean and standard deviation. */
+    double
+    normal(double mean, double stddev)
+    {
+        return mean + stddev * normal();
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool
+    bernoulli(double p)
+    {
+        return uniformReal() < p;
+    }
+
+    /** Uniformly choose an index given non-negative weights. */
+    size_t
+    weightedIndex(const std::vector<double> &weights)
+    {
+        double total = 0.0;
+        for (double w : weights)
+            total += w;
+        double draw = uniformReal() * total;
+        for (size_t i = 0; i < weights.size(); ++i) {
+            draw -= weights[i];
+            if (draw < 0.0)
+                return i;
+        }
+        return weights.empty() ? 0 : weights.size() - 1;
+    }
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &items)
+    {
+        for (size_t i = items.size(); i > 1; --i) {
+            size_t j = static_cast<size_t>(uniformInt(0, i - 1));
+            std::swap(items[i - 1], items[j]);
+        }
+    }
+
+    /** Derive an independent child stream (for per-thread RNGs). */
+    Rng
+    fork()
+    {
+        return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+    double spare_ = 0.0;
+    bool haveSpare_ = false;
+};
+
+} // namespace difftune
+
+#endif // DIFFTUNE_BASE_RANDOM_HH

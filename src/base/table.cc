@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Implementation of text-table rendering.
+ */
+
+#include "base/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace difftune
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    panic_if(cells.size() != headers_.size(),
+             "row has {} cells, table has {} columns", cells.size(),
+             headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back(); // empty row marks a separator
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto renderRow = [&](const std::vector<std::string> &cells,
+                         std::ostringstream &os) {
+        os << "|";
+        for (size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            os << ' ' << cell
+               << std::string(widths[c] - cell.size(), ' ') << " |";
+        }
+        os << '\n';
+    };
+    auto renderSep = [&](std::ostringstream &os) {
+        os << "+";
+        for (size_t c = 0; c < headers_.size(); ++c)
+            os << std::string(widths[c] + 2, '-') << "+";
+        os << '\n';
+    };
+
+    std::ostringstream os;
+    renderSep(os);
+    renderRow(headers_, os);
+    renderSep(os);
+    for (const auto &row : rows_) {
+        if (row.empty())
+            renderSep(os);
+        else
+            renderRow(row, os);
+    }
+    renderSep(os);
+    return os.str();
+}
+
+std::string
+fmtDouble(double value, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << value;
+    return os.str();
+}
+
+std::string
+fmtPercent(double fraction, int decimals)
+{
+    return fmtDouble(fraction * 100.0, decimals) + "%";
+}
+
+} // namespace difftune

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fixed-width text-table rendering for benchmark output.
+ *
+ * Every bench binary prints its reproduction of a paper table with
+ * this helper so the output format is uniform and diffable.
+ */
+
+#ifndef DIFFTUNE_BASE_TABLE_HH
+#define DIFFTUNE_BASE_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace difftune
+{
+
+/** A simple left-aligned text table with a header row. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render to a string, including a trailing newline. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given number of decimals. */
+std::string fmtDouble(double value, int decimals = 2);
+
+/** Format a fraction as a percentage string, e.g. 0.254 -> "25.4%". */
+std::string fmtPercent(double fraction, int decimals = 1);
+
+} // namespace difftune
+
+#endif // DIFFTUNE_BASE_TABLE_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Corpus generation: app sampling, deduplication, categorization.
+ */
+
+#include "bhive/corpus.hh"
+
+#include <unordered_map>
+
+#include "bhive/generator.hh"
+
+namespace difftune::bhive
+{
+
+const char *
+appName(App app)
+{
+    switch (app) {
+      case App::OpenBLAS: return "OpenBLAS";
+      case App::Redis: return "Redis";
+      case App::SQLite: return "SQLite";
+      case App::GZip: return "GZip";
+      case App::TensorFlow: return "TensorFlow";
+      case App::Clang: return "Clang/LLVM";
+      case App::Eigen: return "Eigen";
+      case App::Embree: return "Embree";
+      case App::FFmpeg: return "FFmpeg";
+      default: return "?";
+    }
+}
+
+const char *
+categoryName(Category category)
+{
+    switch (category) {
+      case Category::Scalar: return "Scalar";
+      case Category::Vec: return "Vec";
+      case Category::ScalarVec: return "Scalar/Vec";
+      case Category::Ld: return "Ld";
+      case Category::St: return "St";
+      case Category::LdSt: return "Ld/St";
+      default: return "?";
+    }
+}
+
+Category
+classifyBlock(const isa::BasicBlock &block)
+{
+    int loads = 0, stores = 0, scalar_arith = 0, vec_arith = 0;
+    for (const auto &inst : block.insts) {
+        const auto &op = inst.info();
+        if (op.mem == isa::MemMode::Load ||
+            op.mem == isa::MemMode::LoadStore)
+            ++loads;
+        if (op.mem == isa::MemMode::Store ||
+            op.mem == isa::MemMode::LoadStore)
+            ++stores;
+        switch (op.opClass) {
+          case isa::OpClass::IntAlu:
+          case isa::OpClass::IntMul:
+          case isa::OpClass::IntDiv:
+          case isa::OpClass::Shift:
+          case isa::OpClass::Lea:
+          case isa::OpClass::Setcc:
+          case isa::OpClass::Cmov:
+            ++scalar_arith;
+            break;
+          case isa::OpClass::VecAlu:
+          case isa::OpClass::VecMul:
+          case isa::OpClass::VecDiv:
+          case isa::OpClass::VecFma:
+          case isa::OpClass::VecShuf:
+            ++vec_arith;
+            break;
+          default:
+            break;
+        }
+    }
+    if (loads == 0 && stores == 0) {
+        if (vec_arith > 0 && scalar_arith > 0)
+            return Category::ScalarVec;
+        if (vec_arith > 0)
+            return Category::Vec;
+        return Category::Scalar;
+    }
+    if (loads > 0 && stores > 0)
+        return Category::LdSt;
+    return loads > 0 ? Category::Ld : Category::St;
+}
+
+Corpus
+Corpus::generate(size_t target, uint64_t seed)
+{
+    Corpus corpus;
+    corpus.blocks_.reserve(target);
+
+    Rng rng(seed);
+    std::vector<double> shares(appShares().begin(), appShares().end());
+    std::unordered_map<uint64_t, size_t> by_hash;
+    by_hash.reserve(target * 2);
+
+    size_t attempts = 0;
+    const size_t max_attempts = target * 3 + 1000;
+    while (corpus.blocks_.size() < target && attempts < max_attempts) {
+        ++attempts;
+        const App app = App(rng.weightedIndex(shares));
+        isa::BasicBlock block = generateBlock(rng, appProfile(app));
+        const uint64_t hash = block.hash();
+        auto it = by_hash.find(hash);
+        if (it != by_hash.end()) {
+            // Duplicate block: merge the application label (BHive
+            // blocks can come from multiple applications).
+            corpus.blocks_[it->second].appMask |= uint16_t(1u << int(app));
+            continue;
+        }
+        BlockInfo info;
+        info.category = classifyBlock(block);
+        info.appMask = uint16_t(1u << int(app));
+        info.block = std::move(block);
+        by_hash[hash] = corpus.blocks_.size();
+        corpus.blocks_.push_back(std::move(info));
+    }
+    return corpus;
+}
+
+} // namespace difftune::bhive

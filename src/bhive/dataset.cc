@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Dataset measurement and splitting.
+ */
+
+#include "bhive/dataset.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "base/parallel.hh"
+#include "base/random.hh"
+#include "stats/metrics.hh"
+
+namespace difftune::bhive
+{
+
+Dataset::Dataset(const Corpus &corpus, hw::Uarch uarch,
+                 uint64_t split_seed)
+    : corpus_(&corpus), uarch_(uarch)
+{
+    const size_t n = corpus.size();
+    std::vector<double> timings(n);
+    hw::RefMachine machine(uarch);
+    parallelFor(n, 0, [&](size_t i) {
+        timings[i] = machine.measure(corpus[i].block);
+    });
+
+    // Deterministic split, independent of uarch.
+    std::vector<uint32_t> order(n);
+    for (size_t i = 0; i < n; ++i)
+        order[i] = uint32_t(i);
+    Rng rng(split_seed);
+    rng.shuffle(order);
+
+    const size_t train_count = n * 8 / 10;
+    const size_t valid_count = n / 10;
+    for (size_t i = 0; i < n; ++i) {
+        Entry entry{order[i], timings[order[i]]};
+        if (i < train_count)
+            train_.push_back(entry);
+        else if (i < train_count + valid_count)
+            valid_.push_back(entry);
+        else
+            test_.push_back(entry);
+    }
+}
+
+DatasetSummary
+summarize(const Corpus &corpus,
+          const std::vector<const Dataset *> &datasets)
+{
+    DatasetSummary summary;
+    if (corpus.size() == 0)
+        return summary;
+
+    summary.minLength = corpus[0].block.size();
+    summary.maxLength = 0;
+    std::vector<double> lengths;
+    lengths.reserve(corpus.size());
+    for (const auto &info : corpus.blocks()) {
+        const size_t len = info.block.size();
+        summary.minLength = std::min(summary.minLength, len);
+        summary.maxLength = std::max(summary.maxLength, len);
+        lengths.push_back(double(len));
+    }
+    summary.medianLength = stats::median(lengths);
+    summary.meanLength = stats::mean(lengths);
+
+    auto opcodeCount = [&corpus](const std::vector<Entry> &entries) {
+        std::set<isa::OpcodeId> seen;
+        for (const auto &entry : entries)
+            for (const auto &inst : corpus[entry.blockIdx].block.insts)
+                seen.insert(inst.opcode);
+        return seen.size();
+    };
+
+    if (!datasets.empty()) {
+        const Dataset &first = *datasets.front();
+        summary.trainBlocks = first.train().size();
+        summary.validBlocks = first.valid().size();
+        summary.testBlocks = first.test().size();
+        summary.trainOpcodes = opcodeCount(first.train());
+        summary.validOpcodes = opcodeCount(first.valid());
+        summary.testOpcodes = opcodeCount(first.test());
+        std::set<isa::OpcodeId> all;
+        for (const auto &info : corpus.blocks())
+            for (const auto &inst : info.block.insts)
+                all.insert(inst.opcode);
+        summary.totalOpcodes = all.size();
+
+        for (const Dataset *dataset : datasets) {
+            std::vector<double> timings;
+            timings.reserve(dataset->test().size());
+            for (const auto &entry : dataset->test())
+                timings.push_back(entry.timing * 100.0);
+            summary.medianTimings.emplace_back(
+                hw::uarchName(dataset->uarch()),
+                stats::median(timings));
+        }
+    }
+    return summary;
+}
+
+} // namespace difftune::bhive

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Per-microarchitecture measured datasets with train/validation/test
+ * splits (Section V-A: 80/10/10, block-wise disjoint — guaranteed by
+ * corpus deduplication — with the same split used across uarches).
+ */
+
+#ifndef DIFFTUNE_BHIVE_DATASET_HH
+#define DIFFTUNE_BHIVE_DATASET_HH
+
+#include <string>
+#include <vector>
+
+#include "bhive/corpus.hh"
+#include "hw/ref_machine.hh"
+
+namespace difftune::bhive
+{
+
+/** One labeled example: a corpus block and its measured timing. */
+struct Entry
+{
+    uint32_t blockIdx; ///< index into the corpus
+    double timing;     ///< measured cycles per iteration
+};
+
+/** A measured, split dataset for one microarchitecture. */
+class Dataset
+{
+  public:
+    /**
+     * Measure every corpus block on @p uarch's reference machine
+     * (in parallel; measurements are deterministic per block) and
+     * split 80/10/10. The split depends only on the corpus and
+     * @p split_seed, so different uarches share the same split.
+     */
+    Dataset(const Corpus &corpus, hw::Uarch uarch,
+            uint64_t split_seed = 0x5eed517ULL);
+
+    const Corpus &corpus() const { return *corpus_; }
+    hw::Uarch uarch() const { return uarch_; }
+
+    const std::vector<Entry> &train() const { return train_; }
+    const std::vector<Entry> &valid() const { return valid_; }
+    const std::vector<Entry> &test() const { return test_; }
+
+    /** Block for an entry. */
+    const isa::BasicBlock &
+    block(const Entry &entry) const
+    {
+        return (*corpus_)[entry.blockIdx].block;
+    }
+
+    /** Corpus metadata for an entry. */
+    const BlockInfo &
+    info(const Entry &entry) const
+    {
+        return (*corpus_)[entry.blockIdx];
+    }
+
+  private:
+    const Corpus *corpus_;
+    hw::Uarch uarch_;
+    std::vector<Entry> train_, valid_, test_;
+};
+
+/** Table III-style summary statistics. */
+struct DatasetSummary
+{
+    size_t trainBlocks = 0, validBlocks = 0, testBlocks = 0;
+    size_t minLength = 0, maxLength = 0;
+    double medianLength = 0.0, meanLength = 0.0;
+    /** Unique opcodes in train / valid / test / overall. */
+    size_t trainOpcodes = 0, validOpcodes = 0, testOpcodes = 0,
+           totalOpcodes = 0;
+    /** Median timing (cycles per 100 iterations) per dataset. */
+    std::vector<std::pair<std::string, double>> medianTimings;
+};
+
+/** Summarize a corpus and its per-uarch datasets. */
+DatasetSummary summarize(const Corpus &corpus,
+                         const std::vector<const Dataset *> &datasets);
+
+} // namespace difftune::bhive
+
+#endif // DIFFTUNE_BHIVE_DATASET_HH

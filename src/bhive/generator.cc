@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Block-generator implementation.
+ */
+
+#include "bhive/generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "isa/isa.hh"
+
+namespace difftune::bhive
+{
+
+namespace
+{
+
+using isa::MemMode;
+using isa::OpClass;
+using isa::OpcodeId;
+
+/** Opcode pools per generator group, built once from the Isa. */
+struct GroupPools
+{
+    std::array<std::vector<OpcodeId>, numGenGroups> pools;
+
+    GroupPools()
+    {
+        const isa::Isa &isa = isa::theIsa();
+        for (OpcodeId id = 0; id < isa.numOpcodes(); ++id) {
+            const auto &op = isa.info(id);
+            GenGroup group = classify(op);
+            pools[int(group)].push_back(id);
+        }
+        for (int g = 0; g < numGenGroups; ++g) {
+            panic_if(pools[g].empty(), "generator group {} is empty", g);
+        }
+    }
+
+    static GenGroup
+    classify(const isa::OpcodeInfo &op)
+    {
+        if (op.stackOp)
+            return GenGroup::Stack;
+        if (op.isVector) {
+            switch (op.opClass) {
+              case OpClass::VecAlu:
+                return GenGroup::VecArith;
+              case OpClass::VecMul:
+              case OpClass::VecFma:
+                return GenGroup::VecMulFma;
+              case OpClass::VecDiv:
+                return GenGroup::VecDiv;
+              case OpClass::VecMov:
+                return GenGroup::VecMem;
+              case OpClass::VecShuf:
+                return GenGroup::VecShuf;
+              default:
+                break;
+            }
+        }
+        switch (op.opClass) {
+          case OpClass::IntMul:
+            return GenGroup::Mul;
+          case OpClass::IntDiv:
+            return GenGroup::Div;
+          case OpClass::Lea:
+            return GenGroup::Lea;
+          case OpClass::Setcc:
+          case OpClass::Cmov:
+            return GenGroup::FlagConsumer;
+          case OpClass::Nop:
+            return GenGroup::Nop;
+          case OpClass::Load:
+            return GenGroup::Load;
+          case OpClass::Store:
+            return GenGroup::Store;
+          case OpClass::Shift:
+            return op.mem == MemMode::LoadStore ? GenGroup::MemRmw
+                                                : GenGroup::Shift;
+          case OpClass::Mov:
+            return op.hasImm ? GenGroup::MovImm : GenGroup::MovRR;
+          case OpClass::IntAlu:
+            if (op.mem == MemMode::LoadStore)
+                return GenGroup::MemRmw;
+            if (op.mem == MemMode::Load)
+                return GenGroup::LoadOp;
+            if (op.regOps.empty() ||
+                (op.regOps.size() >= 1 &&
+                 std::all_of(op.regOps.begin(), op.regOps.end(),
+                             [](isa::OperandRole r) {
+                                 return r == isa::OperandRole::Src;
+                             })))
+                return GenGroup::ScalarCmp;
+            return GenGroup::ScalarArith;
+          default:
+            break;
+        }
+        return GenGroup::ScalarArith;
+    }
+};
+
+const GroupPools &
+groupPools()
+{
+    static const GroupPools pools;
+    return pools;
+}
+
+AppProfile
+makeProfile(App app, std::initializer_list<std::pair<GenGroup, double>>
+                         weights)
+{
+    AppProfile profile;
+    profile.app = app;
+    for (const auto &[group, weight] : weights)
+        profile.groupWeights[int(group)] = weight;
+    return profile;
+}
+
+using G = GenGroup;
+
+const std::array<AppProfile, numApps> &
+allProfiles()
+{
+    static const std::array<AppProfile, numApps> profiles = {
+        makeProfile(App::OpenBLAS,
+                    {{G::VecMulFma, 30}, {G::VecArith, 15},
+                     {G::VecMem, 20}, {G::Lea, 8}, {G::ScalarArith, 10},
+                     {G::Load, 8}, {G::ScalarCmp, 4}, {G::Shift, 2},
+                     {G::MovRR, 3}}),
+        makeProfile(App::Redis,
+                    {{G::Load, 22}, {G::Store, 12}, {G::MovRR, 12},
+                     {G::MovImm, 8}, {G::ScalarArith, 18},
+                     {G::ScalarCmp, 12}, {G::Lea, 5}, {G::Stack, 4},
+                     {G::LoadOp, 4}, {G::FlagConsumer, 3}}),
+        makeProfile(App::SQLite,
+                    {{G::Load, 20}, {G::ScalarCmp, 15},
+                     {G::FlagConsumer, 8}, {G::ScalarArith, 15},
+                     {G::Store, 10}, {G::MovImm, 8}, {G::MovRR, 10},
+                     {G::Stack, 5}, {G::LoadOp, 5}, {G::Lea, 4}}),
+        makeProfile(App::GZip,
+                    {{G::Shift, 22}, {G::ScalarArith, 22}, {G::Load, 18},
+                     {G::ScalarCmp, 12}, {G::Store, 8}, {G::MovRR, 8},
+                     {G::LoadOp, 6}, {G::MemRmw, 4}}),
+        makeProfile(App::TensorFlow,
+                    {{G::VecArith, 18}, {G::VecMulFma, 16},
+                     {G::VecMem, 16}, {G::Load, 12}, {G::Lea, 8},
+                     {G::ScalarArith, 12}, {G::MovRR, 6}, {G::Store, 5},
+                     {G::ScalarCmp, 5}, {G::VecShuf, 2}}),
+        makeProfile(App::Clang,
+                    {{G::Load, 16}, {G::Store, 9}, {G::MovRR, 14},
+                     {G::MovImm, 8}, {G::ScalarArith, 18},
+                     {G::ScalarCmp, 11}, {G::Lea, 7}, {G::Stack, 6},
+                     {G::FlagConsumer, 4}, {G::LoadOp, 4},
+                     {G::MemRmw, 2}, {G::Mul, 1}}),
+        makeProfile(App::Eigen,
+                    {{G::VecMulFma, 28}, {G::VecArith, 18},
+                     {G::VecMem, 18}, {G::Lea, 10}, {G::Load, 8},
+                     {G::ScalarArith, 10}, {G::ScalarCmp, 4},
+                     {G::MovRR, 4}}),
+        makeProfile(App::Embree,
+                    {{G::VecArith, 22}, {G::VecShuf, 14},
+                     {G::VecMem, 18}, {G::VecMulFma, 18}, {G::Load, 8},
+                     {G::ScalarArith, 8}, {G::ScalarCmp, 5},
+                     {G::MovRR, 4}, {G::VecDiv, 3}}),
+        makeProfile(App::FFmpeg,
+                    {{G::VecArith, 20}, {G::Load, 14},
+                     {G::ScalarArith, 16}, {G::Shift, 10},
+                     {G::VecMem, 10}, {G::VecShuf, 6}, {G::Store, 8},
+                     {G::MovRR, 7}, {G::ScalarCmp, 6},
+                     {G::VecMulFma, 3}}),
+    };
+    return profiles;
+}
+
+} // namespace
+
+const AppProfile &
+appProfile(App app)
+{
+    return allProfiles()[int(app)];
+}
+
+const std::array<double, numApps> &
+appShares()
+{
+    // Proportions approximate the per-application block counts of
+    // Table V (Clang/LLVM dominant, GZip smallest).
+    static const std::array<double, numApps> shares = {
+        1478, // OpenBLAS
+        839,  // Redis
+        764,  // SQLite
+        182,  // GZip
+        6399, // TensorFlow
+        18781, // Clang/LLVM
+        387,  // Eigen
+        1067, // Embree
+        1516, // FFmpeg
+    };
+    return shares;
+}
+
+isa::BasicBlock
+generateBlock(Rng &rng, const AppProfile &profile)
+{
+    const isa::Isa &isa = isa::theIsa();
+    const GroupPools &pools = groupPools();
+
+    // Block length: lognormal with median 3, clamped to [1, 64]
+    // (BHive: min 1, median 3, mean 4.9).
+    int length = int(std::lround(std::exp(rng.normal(1.1, 0.95))));
+    length = std::clamp(length, 1, 64);
+
+    // Block-local register palettes.
+    const int num_gprs = int(rng.uniformInt(2, 6));
+    const int num_vecs = int(rng.uniformInt(2, 6));
+    std::vector<isa::RegId> gprs, vecs, bases;
+    {
+        std::vector<isa::RegId> all_gprs;
+        for (isa::RegId r = 0; r < isa::numGprRegs; ++r)
+            if (r != isa::stackPointer)
+                all_gprs.push_back(r);
+        rng.shuffle(all_gprs);
+        gprs.assign(all_gprs.begin(), all_gprs.begin() + num_gprs);
+        std::vector<isa::RegId> all_vecs;
+        for (isa::RegId r = isa::firstVec;
+             r < isa::firstVec + isa::numVecRegs; ++r)
+            all_vecs.push_back(r);
+        rng.shuffle(all_vecs);
+        vecs.assign(all_vecs.begin(), all_vecs.begin() + num_vecs);
+        // Memory base registers: one or two of the GPR palette.
+        bases.push_back(gprs[0]);
+        if (gprs.size() > 1 && rng.bernoulli(0.5))
+            bases.push_back(gprs[1]);
+    }
+    static const int32_t disps[] = {0, 8, 16, 24, 32, 48, 64, 128};
+
+    auto pickGpr = [&] { return gprs[rng.uniformInt(0, gprs.size() - 1)]; };
+    auto pickVec = [&] { return vecs[rng.uniformInt(0, vecs.size() - 1)]; };
+    auto pickMem = [&] {
+        isa::MemRef mem;
+        mem.base = bases[rng.uniformInt(0, bases.size() - 1)];
+        mem.disp = disps[rng.uniformInt(0, 7)];
+        return mem;
+    };
+
+    std::vector<double> weights(profile.groupWeights.begin(),
+                                profile.groupWeights.end());
+
+    isa::BasicBlock block;
+    block.insts.reserve(length);
+    for (int i = 0; i < length; ++i) {
+        const int group = int(rng.weightedIndex(weights));
+        const auto &pool = pools.pools[group];
+        const OpcodeId opcode =
+            pool[rng.uniformInt(0, pool.size() - 1)];
+        const auto &op = isa.info(opcode);
+
+        std::vector<isa::RegId> slots;
+        slots.reserve(op.numRegOps());
+        for (size_t s = 0; s < op.numRegOps(); ++s)
+            slots.push_back(op.isVector ? pickVec() : pickGpr());
+
+        isa::MemRef mem;
+        if (op.mem != MemMode::None && !op.stackOp)
+            mem = pickMem();
+
+        int64_t imm = 0;
+        if (op.hasImm) {
+            imm = op.opClass == OpClass::Shift
+                      ? rng.uniformInt(1, op.width - 1)
+                      : rng.uniformInt(1, 64);
+        }
+
+        block.insts.push_back(isa::makeInstruction(opcode, slots, mem,
+                                                   imm));
+    }
+    return block;
+}
+
+} // namespace difftune::bhive

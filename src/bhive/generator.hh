@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Per-application basic-block generators.
+ *
+ * Each application has an instruction-mix profile: weights over
+ * generator groups (scalar arithmetic, loads, vector FMA, ...).
+ * Blocks draw opcodes from the profile, assign registers from a small
+ * block-local palette (creating realistic dependence chains), and use
+ * a small displacement set for memory operands (creating occasional
+ * address aliasing, which exercises the reference machine's
+ * store-to-load forwarding).
+ */
+
+#ifndef DIFFTUNE_BHIVE_GENERATOR_HH
+#define DIFFTUNE_BHIVE_GENERATOR_HH
+
+#include <array>
+#include <vector>
+
+#include "base/random.hh"
+#include "bhive/corpus.hh"
+
+namespace difftune::bhive
+{
+
+/** Instruction groups the generator mixes between. */
+enum class GenGroup : uint8_t
+{
+    ScalarArith, ///< add/sub/and/or/xor/inc/dec/neg/not, register forms
+    Shift,       ///< shl/shr/sar
+    ScalarCmp,   ///< cmp/test
+    MovRR,       ///< register moves and extensions
+    MovImm,      ///< immediate moves
+    Load,        ///< pure loads
+    Store,       ///< pure stores
+    LoadOp,      ///< scalar op with memory source
+    MemRmw,      ///< scalar read-modify-write on memory
+    Stack,       ///< push/pop
+    Mul,         ///< integer multiply
+    Div,         ///< integer divide
+    Lea,         ///< address computation
+    FlagConsumer, ///< setcc/cmov
+    VecArith,    ///< packed add/logic/min/max
+    VecMulFma,   ///< packed multiply and FMA
+    VecDiv,      ///< packed divide
+    VecMem,      ///< vector moves/loads/stores/broadcasts
+    VecShuf,     ///< shuffles
+    Nop,         ///< nop
+    NumGroups,
+};
+
+constexpr int numGenGroups = int(GenGroup::NumGroups);
+
+/** Application instruction-mix profile. */
+struct AppProfile
+{
+    App app;
+    std::array<double, numGenGroups> groupWeights{};
+};
+
+/** @return the profile for @p app. */
+const AppProfile &appProfile(App app);
+
+/** Relative corpus share of each app (mirrors Table V's proportions). */
+const std::array<double, numApps> &appShares();
+
+/** Generate one block under @p profile. */
+isa::BasicBlock generateBlock(Rng &rng, const AppProfile &profile);
+
+} // namespace difftune::bhive
+
+#endif // DIFFTUNE_BHIVE_GENERATOR_HH

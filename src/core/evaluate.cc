@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Evaluation implementation.
+ */
+
+#include "core/evaluate.hh"
+
+#include "base/parallel.hh"
+#include "stats/metrics.hh"
+
+namespace difftune::core
+{
+
+EvalResult
+evaluate(const params::Simulator &sim, const params::ParamTable &table,
+         const bhive::Dataset &dataset,
+         const std::vector<bhive::Entry> &entries)
+{
+    std::vector<double> predictions(entries.size());
+    parallelFor(entries.size(), 0, [&](size_t i) {
+        predictions[i] = sim.timing(dataset.block(entries[i]), table);
+    });
+    return evaluatePredictions(std::move(predictions), entries);
+}
+
+EvalResult
+evaluatePredictions(std::vector<double> predictions,
+                    const std::vector<bhive::Entry> &entries)
+{
+    std::vector<double> truths(entries.size());
+    for (size_t i = 0; i < entries.size(); ++i)
+        truths[i] = entries[i].timing;
+
+    EvalResult result;
+    result.error = stats::mape(predictions, truths);
+    result.kendallTau = stats::kendallTau(predictions, truths);
+    result.predictions = std::move(predictions);
+    return result;
+}
+
+} // namespace difftune::core

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared evaluation: run a simulator over a dataset split and compute
+ * the paper's metrics (MAPE and Kendall's tau).
+ */
+
+#ifndef DIFFTUNE_CORE_EVALUATE_HH
+#define DIFFTUNE_CORE_EVALUATE_HH
+
+#include <vector>
+
+#include "bhive/dataset.hh"
+#include "params/simulator.hh"
+
+namespace difftune::core
+{
+
+/** Error metrics of one predictor over one dataset split. */
+struct EvalResult
+{
+    double error = 0.0;      ///< mean absolute percentage error
+    double kendallTau = 0.0; ///< rank correlation
+    std::vector<double> predictions;
+};
+
+/** Evaluate @p sim with @p table on @p entries (in parallel). */
+EvalResult evaluate(const params::Simulator &sim,
+                    const params::ParamTable &table,
+                    const bhive::Dataset &dataset,
+                    const std::vector<bhive::Entry> &entries);
+
+/** Evaluate precomputed predictions against entry timings. */
+EvalResult evaluatePredictions(std::vector<double> predictions,
+                               const std::vector<bhive::Entry> &entries);
+
+} // namespace difftune::core
+
+#endif // DIFFTUNE_CORE_EVALUATE_HH

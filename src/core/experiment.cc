@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Experiment-configuration implementation.
+ */
+
+#include "core/experiment.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "base/env.hh"
+#include "base/logging.hh"
+#include "hw/default_table.hh"
+#include "mca/xmca.hh"
+#include "usim/usim.hh"
+
+namespace difftune::core
+{
+
+ExperimentScale
+ExperimentScale::fromEnv()
+{
+    const double scale = experimentScale();
+    ExperimentScale s;
+    s.corpusBlocks = size_t(scaledCount(3000, 600));
+    s.simulatedMultiple = 8.0;
+    s.surrogateLoops = scale >= 1.0 ? 10 : 6;
+    s.tableEpochs = 60;
+    s.refineRounds = 2;
+    s.ithemalEpochs = scale >= 1.0 ? 10 : 6;
+    s.hidden = 64;
+    s.embed = 32;
+    return s;
+}
+
+const bhive::Corpus &
+sharedCorpus()
+{
+    static const bhive::Corpus corpus = bhive::Corpus::generate(
+        ExperimentScale::fromEnv().corpusBlocks, 0xb41c5eed);
+    return corpus;
+}
+
+const bhive::Dataset &
+sharedDataset(hw::Uarch uarch)
+{
+    static std::map<int, bhive::Dataset> datasets;
+    auto it = datasets.find(int(uarch));
+    if (it == datasets.end()) {
+        it = datasets
+                 .emplace(int(uarch),
+                          bhive::Dataset(sharedCorpus(), uarch))
+                 .first;
+    }
+    return it->second;
+}
+
+DiffTuneConfig
+standardConfig(uint64_t seed)
+{
+    const ExperimentScale s = ExperimentScale::fromEnv();
+    DiffTuneConfig cfg;
+    cfg.simulatedMultiple = s.simulatedMultiple;
+    cfg.surrogateLoops = s.surrogateLoops;
+    cfg.tableEpochs = s.tableEpochs;
+    cfg.refineRounds = s.refineRounds;
+    cfg.model.hidden = s.hidden;
+    cfg.model.embedDim = s.embed;
+    cfg.model.tokenLayers = 1;
+    cfg.model.blockLayers = 2;
+    cfg.seed = seed;
+    return cfg;
+}
+
+IthemalConfig
+standardIthemal(uint64_t seed)
+{
+    const ExperimentScale s = ExperimentScale::fromEnv();
+    IthemalConfig cfg;
+    cfg.epochs = s.ithemalEpochs;
+    cfg.model.hidden = s.hidden;
+    cfg.model.embedDim = s.embed;
+    cfg.model.tokenLayers = 1;
+    cfg.model.blockLayers = 2;
+    cfg.seed = seed;
+    return cfg;
+}
+
+std::string
+cacheDir()
+{
+    const std::string dir = envString("DIFFTUNE_CACHE", "difftune_cache");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    return dir;
+}
+
+params::ParamTable
+learnedTable(hw::Uarch uarch, const std::string &variant, uint64_t seed)
+{
+    std::ostringstream name;
+    name << cacheDir() << "/learned_" << hw::uarchName(uarch) << "_"
+         << variant << "_s" << seed << "_x" << experimentScale()
+         << ".params";
+    const std::string path = name.str();
+
+    {
+        std::ifstream in(path);
+        if (in) {
+            std::stringstream buffer;
+            buffer << in.rdbuf();
+            inform("loaded cached learned table {}", path);
+            return params::ParamTable::load(buffer.str());
+        }
+    }
+
+    const bhive::Dataset &dataset = sharedDataset(uarch);
+    const params::ParamTable base = hw::defaultTable(uarch);
+    DiffTuneConfig cfg = standardConfig(seed);
+
+    params::ParamTable learned;
+    if (variant == "full") {
+        mca::XMca sim;
+        DiffTune difftune(sim, dataset, base, cfg);
+        learned = difftune.run().learned;
+    } else if (variant == "wlonly") {
+        // Section VI-B: WriteLatency only, uniform {0..10}, shorter
+        // surrogate training (the paper loops 3x instead of 6x).
+        cfg.dist = params::SamplingDist::writeLatencyOnly();
+        cfg.surrogateLoops = std::max(2, cfg.surrogateLoops / 2);
+        mca::XMca sim;
+        DiffTune difftune(sim, dataset, base, cfg);
+        learned = difftune.run().learned;
+    } else if (variant == "usim") {
+        // Appendix A: llvm_sim exposes WriteLatency + PortMap.
+        cfg.dist = params::SamplingDist::usim();
+        usim::USim sim;
+        DiffTune difftune(sim, dataset, base, cfg);
+        learned = difftune.run().learned;
+    } else {
+        fatal("unknown learned-table variant '{}'", variant);
+    }
+
+    std::ofstream out(path);
+    out << learned.save();
+    inform("cached learned table {}", path);
+    return learned;
+}
+
+} // namespace difftune::core

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Canonical experiment configurations shared by the benchmark
+ * harness, plus a small on-disk artifact cache so the per-table
+ * bench binaries can share expensive trained artifacts (learned
+ * parameter tables, Ithemal models) in whatever order they run.
+ *
+ * Every size here scales with DIFFTUNE_SCALE (default 1.0): the
+ * defaults reproduce the paper's qualitative results in minutes on a
+ * multicore CPU; larger scales sharpen the numbers.
+ */
+
+#ifndef DIFFTUNE_CORE_EXPERIMENT_HH
+#define DIFFTUNE_CORE_EXPERIMENT_HH
+
+#include <string>
+
+#include "core/difftune.hh"
+#include "core/ithemal.hh"
+
+namespace difftune::core
+{
+
+/** Scaled experiment sizes. */
+struct ExperimentScale
+{
+    size_t corpusBlocks;     ///< synthetic BHive corpus size
+    double simulatedMultiple; ///< |D^| / |train|
+    int surrogateLoops;
+    int tableEpochs;
+    int refineRounds;
+    int ithemalEpochs;
+    int hidden;
+    int embed;
+
+    /** Read DIFFTUNE_SCALE and derive all sizes. */
+    static ExperimentScale fromEnv();
+};
+
+/** The corpus shared by every experiment (generated once). */
+const bhive::Corpus &sharedCorpus();
+
+/** The measured dataset for @p uarch (built once per uarch). */
+const bhive::Dataset &sharedDataset(hw::Uarch uarch);
+
+/** Standard DiffTune configuration at the current scale. */
+DiffTuneConfig standardConfig(uint64_t seed);
+
+/** Standard Ithemal configuration at the current scale. */
+IthemalConfig standardIthemal(uint64_t seed);
+
+/**
+ * Learned-table artifact cache. Runs DiffTune for (@p uarch,
+ * @p variant) unless a cached result exists under the cache
+ * directory (DIFFTUNE_CACHE, default "difftune_cache/").
+ *
+ * @param variant "full" (Table IV), "wlonly" (Section VI-B) or
+ *        "usim" (Table VIII)
+ * @param seed run seed (varies across the paper's 3 repetitions)
+ */
+params::ParamTable learnedTable(hw::Uarch uarch,
+                                const std::string &variant,
+                                uint64_t seed);
+
+/** Cache directory path (created on demand). */
+std::string cacheDir();
+
+} // namespace difftune::core
+
+#endif // DIFFTUNE_CORE_EXPERIMENT_HH

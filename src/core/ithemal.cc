@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Ithemal baseline implementation.
+ */
+
+#include "core/ithemal.hh"
+
+#include <algorithm>
+
+#include "base/parallel.hh"
+#include "core/trainer.hh"
+#include "nn/optim.hh"
+
+namespace difftune::core
+{
+
+Ithemal::Ithemal(const bhive::Dataset &dataset, IthemalConfig config)
+    : dataset_(dataset), config_(config), rng_(config.seed)
+{
+    config_.model.paramDim = 0;
+    const auto &corpus = dataset_.corpus();
+    encoded_.resize(corpus.size());
+    parallelFor(corpus.size(), config_.workers, [&](size_t i) {
+        encoded_[i] = surrogate::encodeBlock(corpus[i].block);
+    });
+    model_ = std::make_unique<surrogate::Model>(config_.model,
+                                                isa::theVocab().size());
+}
+
+double
+Ithemal::train()
+{
+    const auto &train = dataset_.train();
+    nn::Adam adam(config_.lr);
+    BatchRunner runner(model_->params(), config_.workers);
+
+    std::vector<uint32_t> order(train.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = uint32_t(i);
+
+    double final_loss = 0.0;
+    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+        rng_.shuffle(order);
+        double epoch_loss = 0.0;
+        size_t batches = 0;
+        for (size_t start = 0; start < order.size();
+             start += config_.batchSize) {
+            const size_t end =
+                std::min(order.size(), start + config_.batchSize);
+            const double loss = runner.runBatch(
+                start, end,
+                [&](size_t idx, nn::Graph &graph, nn::Grads &grads) {
+                    const auto &entry = train[order[idx]];
+                    nn::Ctx ctx{graph, model_->params(), &grads};
+                    nn::Var pred = graph.exp(model_->forward(
+                        ctx, encoded_[entry.blockIdx], {}));
+                    nn::Var loss_var =
+                        graph.lossMape(pred, entry.timing, 0.05);
+                    graph.backward(loss_var);
+                    return graph.scalarValue(loss_var);
+                });
+            runner.apply(model_->params(), adam, config_.gradClip);
+            epoch_loss += loss;
+            ++batches;
+        }
+        final_loss = epoch_loss / double(std::max<size_t>(1, batches));
+        inform("ithemal epoch {}/{}: loss {}", epoch + 1,
+               config_.epochs, final_loss);
+    }
+    return final_loss;
+}
+
+std::vector<double>
+Ithemal::predictAll(const std::vector<bhive::Entry> &entries) const
+{
+    std::vector<double> predictions(entries.size());
+    parallelFor(entries.size(), config_.workers, [&](size_t i) {
+        nn::Graph graph;
+        nn::Ctx ctx{graph, model_->params(), nullptr};
+        nn::Var pred = graph.exp(
+            model_->forward(ctx, encoded_[entries[i].blockIdx], {}));
+        predictions[i] = graph.scalarValue(pred);
+    });
+    return predictions;
+}
+
+EvalResult
+Ithemal::evaluate(const std::vector<bhive::Entry> &entries) const
+{
+    return evaluatePredictions(predictAll(entries), entries);
+}
+
+} // namespace difftune::core

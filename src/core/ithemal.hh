@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The Ithemal baseline (Mendis et al.): the same sequence model as
+ * the surrogate but without parameter inputs, trained directly on the
+ * ground-truth dataset. In Table IV it is the most accurate
+ * (unconstrained) predictor and lower-bounds the achievable error.
+ */
+
+#ifndef DIFFTUNE_CORE_ITHEMAL_HH
+#define DIFFTUNE_CORE_ITHEMAL_HH
+
+#include <memory>
+
+#include "bhive/dataset.hh"
+#include "core/evaluate.hh"
+#include "surrogate/model.hh"
+
+namespace difftune::core
+{
+
+/** Ithemal training hyperparameters. */
+struct IthemalConfig
+{
+    surrogate::ModelConfig model{}; ///< paramDim forced to 0
+    int epochs = 6;
+    int batchSize = 256;
+    double lr = 1e-3;
+    double gradClip = 5.0;
+    int workers = 0;
+    uint64_t seed = 7;
+};
+
+/** A trained Ithemal predictor. */
+class Ithemal
+{
+  public:
+    Ithemal(const bhive::Dataset &dataset, IthemalConfig config);
+
+    /** Train on the dataset's train split; returns final epoch loss. */
+    double train();
+
+    /** Predict timings for a split (parallel). */
+    std::vector<double>
+    predictAll(const std::vector<bhive::Entry> &entries) const;
+
+    /** Evaluate on a split. */
+    EvalResult evaluate(const std::vector<bhive::Entry> &entries) const;
+
+    surrogate::Model &model() { return *model_; }
+
+  private:
+    const bhive::Dataset &dataset_;
+    IthemalConfig config_;
+    std::vector<surrogate::EncodedBlock> encoded_;
+    std::unique_ptr<surrogate::Model> model_;
+    Rng rng_;
+};
+
+} // namespace difftune::core
+
+#endif // DIFFTUNE_CORE_ITHEMAL_HH

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * RawTable implementation.
+ */
+
+#include "core/raw_table.hh"
+
+#include <cmath>
+
+namespace difftune::core
+{
+
+/**
+ * Saturation point (in normalized units) of the parameter-input soft
+ * clamp; see RawTable::paramInputs.
+ */
+constexpr double softClampCap = 1.25;
+
+namespace
+{
+
+/** Flatten one opcode's actual values minus lower bounds. */
+std::array<double, params::perOpcodeParams>
+opcodeRecord(const params::ParamTable &table, size_t op)
+{
+    const auto &inst = table.perOpcode[op];
+    std::array<double, params::perOpcodeParams> rec{};
+    size_t i = 0;
+    rec[i++] = inst.numMicroOps - 1.0; // lb 1
+    rec[i++] = inst.writeLatency;      // lb 0
+    for (double ra : inst.readAdvance)
+        rec[i++] = ra;
+    for (double pc : inst.portMap)
+        rec[i++] = pc;
+    return rec;
+}
+
+} // namespace
+
+ParamNormalizer::ParamNormalizer(const params::SamplingDist &dist)
+{
+    auto inv = [](double width) { return 1.0 / std::max(1.0, width); };
+    perOpcode.reserve(params::perOpcodeParams);
+    perOpcode.push_back(inv(dist.uopsMax - dist.uopsMin));
+    perOpcode.push_back(inv(dist.writeLatencyMax));
+    for (int i = 0; i < params::numReadAdvance; ++i)
+        perOpcode.push_back(inv(dist.readAdvanceMax));
+    for (int i = 0; i < params::numPorts; ++i)
+        perOpcode.push_back(inv(dist.portMaxCycles));
+    globals[0] = inv(dist.dispatchMax - dist.dispatchMin);
+    globals[1] = inv(dist.robMax - dist.robMin);
+}
+
+std::vector<nn::Var>
+constParamInputs(nn::Graph &graph, const params::ParamTable &table,
+                 const isa::BasicBlock &block, const ParamNormalizer &norm)
+{
+    // The same soft clamp the trainable path applies (see
+    // RawTable::paramInputs) so the surrogate sees one consistent
+    // input transform in both phases.
+    auto softClamp = [](double x) {
+        return softClampCap * std::tanh(x / softClampCap);
+    };
+
+    // Globals are shared by every instruction of the block.
+    const double dw =
+        softClamp((table.dispatchWidth - 1.0) * norm.globals[0]);
+    const double rob =
+        softClamp((table.reorderBufferSize - 1.0) * norm.globals[1]);
+
+    std::vector<nn::Var> result;
+    result.reserve(block.size());
+    for (const auto &inst : block.insts) {
+        const auto rec = opcodeRecord(table, inst.opcode);
+        nn::Tensor t(norm.paramDim(), 1);
+        for (int i = 0; i < params::perOpcodeParams; ++i)
+            t.data[i] = softClamp(rec[i] * norm.perOpcode[i]);
+        t.data[params::perOpcodeParams + 0] = dw;
+        t.data[params::perOpcodeParams + 1] = rob;
+        result.push_back(graph.input(std::move(t)));
+    }
+    return result;
+}
+
+RawTable::RawTable(const params::ParamTable &init,
+                   const ParamNormalizer &norm)
+    : numOpcodes_(init.numOpcodes()), norm_(norm)
+{
+    perOpcodeIdx_ =
+        params_.add(int(numOpcodes_), params::perOpcodeParams);
+    globalsIdx_ = params_.add(2, 1);
+
+    nn::Tensor &raw = params_[perOpcodeIdx_];
+    for (size_t op = 0; op < numOpcodes_; ++op) {
+        const auto rec = opcodeRecord(init, op);
+        for (int i = 0; i < params::perOpcodeParams; ++i)
+            raw.at(int(op), i) = rec[i];
+    }
+    nn::Tensor &glob = params_[globalsIdx_];
+    glob.data[0] = init.dispatchWidth - 1.0;
+    glob.data[1] = init.reorderBufferSize - 1.0;
+}
+
+std::vector<nn::Var>
+RawTable::paramInputs(nn::Graph &graph, const isa::BasicBlock &block,
+                      nn::Grads *sink) const
+{
+    // The surrogate is only trained on parameters drawn from the
+    // sampling distribution (normalized inputs in [0, 1]); outside
+    // that range it extrapolates arbitrarily (Section VII). A tanh
+    // soft clamp keeps the optimized table inside the trusted region
+    // while staying differentiable: cap * tanh(x / cap) is identity
+    // near 0 and saturates smoothly at `cap`.
+    constexpr double cap = softClampCap;
+    auto softClamp = [&graph](nn::Var x) {
+        return graph.scale(graph.tanh(graph.scale(x, 1.0 / cap)), cap);
+    };
+
+    // |raw globals|, normalized, shared across instructions.
+    nn::Var glob = graph.param(params_, globalsIdx_, sink);
+    nn::Var glob_n = softClamp(graph.scaleByVec(
+        graph.abs(glob), {norm_.globals[0], norm_.globals[1]}));
+
+    std::vector<double> scales(norm_.perOpcode);
+    std::vector<nn::Var> result;
+    result.reserve(block.size());
+    for (const auto &inst : block.insts) {
+        nn::Var row = graph.paramRow(params_, perOpcodeIdx_,
+                                     int(inst.opcode), sink);
+        nn::Var row_n =
+            softClamp(graph.scaleByVec(graph.abs(row), scales));
+        result.push_back(graph.concat({row_n, glob_n}));
+    }
+    return result;
+}
+
+params::ParamTable
+RawTable::toParamTable() const
+{
+    params::ParamTable table(numOpcodes_);
+    const nn::Tensor &raw = params_[perOpcodeIdx_];
+    for (size_t op = 0; op < numOpcodes_; ++op) {
+        auto &inst = table.perOpcode[op];
+        int i = 0;
+        inst.numMicroOps = std::fabs(raw.at(int(op), i++)) + 1.0;
+        inst.writeLatency = std::fabs(raw.at(int(op), i++));
+        for (double &ra : inst.readAdvance)
+            ra = std::fabs(raw.at(int(op), i++));
+        for (double &pc : inst.portMap)
+            pc = std::fabs(raw.at(int(op), i++));
+    }
+    const nn::Tensor &glob = params_[globalsIdx_];
+    table.dispatchWidth = std::fabs(glob.data[0]) + 1.0;
+    table.reorderBufferSize = std::fabs(glob.data[1]) + 1.0;
+    return table;
+}
+
+void
+RawTable::enforceMask(const params::ParamMask &mask,
+                      const params::ParamTable &base)
+{
+    nn::Tensor &raw = params_[perOpcodeIdx_];
+    for (size_t op = 0; op < numOpcodes_; ++op) {
+        const auto rec = opcodeRecord(base, op);
+        int i = 0;
+        if (!mask.numMicroOps)
+            raw.at(int(op), 0) = rec[0];
+        i = 1;
+        if (!mask.writeLatency)
+            raw.at(int(op), 1) = rec[1];
+        i = 2;
+        if (!mask.readAdvance)
+            for (int k = 0; k < params::numReadAdvance; ++k)
+                raw.at(int(op), i + k) = rec[i + k];
+        i += params::numReadAdvance;
+        if (!mask.portMap)
+            for (int k = 0; k < params::numPorts; ++k)
+                raw.at(int(op), i + k) = rec[i + k];
+    }
+    if (!mask.globals) {
+        params_[globalsIdx_].data[0] = base.dispatchWidth - 1.0;
+        params_[globalsIdx_].data[1] = base.reorderBufferSize - 1.0;
+    }
+}
+
+} // namespace difftune::core

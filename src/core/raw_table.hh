@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The trainable parameter-table representation (DiffTune phase 4).
+ *
+ * During optimization all simulator parameters are unconstrained
+ * reals ("raw" values). The mapping to actual parameter values is the
+ * paper's reparameterization: actual = |raw| + lower_bound. The
+ * surrogate always consumes lower-bound-subtracted values — i.e.
+ * (actual - lb) during surrogate training and |raw| during table
+ * training — scaled per-entry to roughly [0, 1] by the width of the
+ * sampling distribution (a conditioning aid for the LSTM inputs).
+ */
+
+#ifndef DIFFTUNE_CORE_RAW_TABLE_HH
+#define DIFFTUNE_CORE_RAW_TABLE_HH
+
+#include <array>
+
+#include "isa/instruction.hh"
+#include "nn/modules.hh"
+#include "params/sampling.hh"
+
+namespace difftune::core
+{
+
+/** Per-entry input normalization derived from a sampling dist. */
+struct ParamNormalizer
+{
+    /** Scales for one per-opcode record (params::perOpcodeParams). */
+    std::vector<double> perOpcode;
+    /** Scales for [DispatchWidth, ReorderBufferSize]. */
+    std::array<double, 2> globals;
+
+    explicit ParamNormalizer(const params::SamplingDist &dist);
+
+    /** Input width the surrogate sees per instruction. */
+    int
+    paramDim() const
+    {
+        return int(perOpcode.size()) + 2;
+    }
+};
+
+/**
+ * Build constant (already-known-value) per-instruction parameter
+ * input Vars for @p block from an actual-valued table — used when
+ * training the surrogate (phase 3), where theta is a sampled input.
+ */
+std::vector<nn::Var>
+constParamInputs(nn::Graph &graph, const params::ParamTable &table,
+                 const isa::BasicBlock &block,
+                 const ParamNormalizer &norm);
+
+/** The trainable raw table (phase 4's only trainable leaves). */
+class RawTable
+{
+  public:
+    /**
+     * Initialize raw values from an actual-valued table:
+     * raw = actual - lower_bound (so |raw| + lb == actual).
+     */
+    RawTable(const params::ParamTable &init, const ParamNormalizer &norm);
+
+    /** Trainable parameters (a per-opcode matrix and a global pair). */
+    nn::ParamSet &params() { return params_; }
+
+    /**
+     * Build per-instruction parameter input Vars for @p block whose
+     * gradients flow into this table's ParamSet via @p sink.
+     */
+    std::vector<nn::Var> paramInputs(nn::Graph &graph,
+                                     const isa::BasicBlock &block,
+                                     nn::Grads *sink) const;
+
+    /** Recover the actual-valued table: |raw| + lower bound. */
+    params::ParamTable toParamTable() const;
+
+    /**
+     * Reset masked-off entries to the raw encoding of @p base (run
+     * after every optimizer step when a ParamMask is in force).
+     */
+    void enforceMask(const params::ParamMask &mask,
+                     const params::ParamTable &base);
+
+    size_t numOpcodes() const { return numOpcodes_; }
+
+  private:
+    size_t numOpcodes_;
+    ParamNormalizer norm_;
+    nn::ParamSet params_;
+    int perOpcodeIdx_; ///< (numOpcodes x perOpcodeParams) raw matrix
+    int globalsIdx_;   ///< (2 x 1) raw globals
+};
+
+} // namespace difftune::core
+
+#endif // DIFFTUNE_CORE_RAW_TABLE_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * BatchRunner implementation.
+ */
+
+#include "core/trainer.hh"
+
+#include "base/env.hh"
+#include "base/parallel.hh"
+
+namespace difftune::core
+{
+
+BatchRunner::BatchRunner(const nn::ParamSet &trainable, int workers)
+    : workers_(workers > 0 ? workers : workerThreads()), total_(trainable)
+{
+    graphs_.resize(workers_);
+    shardGrads_.resize(workers_);
+    for (int w = 0; w < workers_; ++w) {
+        graphs_[w] = std::make_unique<nn::Graph>();
+        shardGrads_[w] = std::make_unique<nn::Grads>(trainable);
+    }
+}
+
+double
+BatchRunner::runBatch(size_t begin, size_t end, const SampleFn &body)
+{
+    const size_t n = end - begin;
+    if (n == 0)
+        return 0.0;
+    std::vector<double> shard_loss(workers_, 0.0);
+    for (auto &grads : shardGrads_)
+        grads->zero();
+
+    parallelShards(n, workers_,
+                   [&](size_t lo, size_t hi, int shard) {
+                       nn::Graph &graph = *graphs_[shard];
+                       nn::Grads &grads = *shardGrads_[shard];
+                       double loss = 0.0;
+                       for (size_t i = lo; i < hi; ++i) {
+                           graph.clear();
+                           loss += body(begin + i, graph, grads);
+                       }
+                       shard_loss[shard] = loss;
+                   });
+
+    total_.zero();
+    double loss = 0.0;
+    for (int w = 0; w < workers_; ++w) {
+        total_.addFrom(*shardGrads_[w]);
+        loss += shard_loss[w];
+    }
+    total_.scale(1.0 / double(n));
+    return loss / double(n);
+}
+
+void
+BatchRunner::apply(nn::ParamSet &params, nn::Optimizer &optimizer,
+                   double clip)
+{
+    if (clip > 0.0)
+        total_.clipL2(clip);
+    optimizer.step(params, total_);
+}
+
+} // namespace difftune::core

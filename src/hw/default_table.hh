@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The "expert-provided default" parameter tables.
+ *
+ * In the paper, llvm-mca ships per-uarch tables hand-written from
+ * vendor documentation and measurement frameworks (Agner Fog,
+ * uops.info). We reproduce that role: the default table is derived
+ * from the hidden physical truth the way documentation is — compute
+ * latencies are documented faithfully (with occasional off-by-one
+ * publication errors), memory-operand latencies are documented as
+ * sums of documented components (L1 + op + store), stack operations
+ * get their documented-but-not-effective 2-cycle latency (the PUSH64r
+ * case study), and the port map is a flattened single-port
+ * simplification of the true unit pools (the paper likewise zeroes
+ * llvm-mca's port groups).
+ */
+
+#ifndef DIFFTUNE_HW_DEFAULT_TABLE_HH
+#define DIFFTUNE_HW_DEFAULT_TABLE_HH
+
+#include "hw/uarch.hh"
+#include "params/param_table.hh"
+
+namespace difftune::hw
+{
+
+/** @return the expert default ParamTable for @p uarch. */
+params::ParamTable defaultTable(Uarch uarch);
+
+} // namespace difftune::hw
+
+#endif // DIFFTUNE_HW_DEFAULT_TABLE_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Opcode-level physical timing derivation.
+ */
+
+#include "hw/inst_model.hh"
+
+namespace difftune::hw
+{
+
+namespace
+{
+
+using isa::MemMode;
+using isa::OpClass;
+
+/** Opcode-level latency special cases on top of the class tables. */
+int
+specialLatency(const UarchConfig &config, const isa::OpcodeInfo &op,
+               int class_latency)
+{
+    const std::string &name = op.name;
+    auto startsWith = [&name](const char *prefix) {
+        return name.rfind(prefix, 0) == 0;
+    };
+
+    // Integer-vector ALU ops are single-cycle even where FP adds are
+    // multi-cycle.
+    if (op.opClass == OpClass::VecAlu && startsWith("VP"))
+        return 1;
+    // Bitwise FP logicals are single-cycle too.
+    if (op.opClass == OpClass::VecAlu &&
+        (startsWith("VANDPS") || startsWith("VORPS") ||
+         startsWith("VXORPS")))
+        return 1;
+    // VPMULLD is notoriously slow on Intel.
+    if (startsWith("VPMULLD"))
+        return config.uarch == Uarch::Zen2 ? 4 : 10;
+    // 64-bit multiply/divide pays an extra cycle.
+    if (op.opClass == OpClass::IntMul && op.width == 64)
+        return class_latency + 1;
+    if (op.opClass == OpClass::IntDiv && op.width == 64)
+        return class_latency + 12;
+    return class_latency;
+}
+
+} // namespace
+
+InstTiming
+instTiming(const UarchConfig &config, isa::OpcodeId op_id)
+{
+    const isa::OpcodeInfo &op = isa::theIsa().info(op_id);
+    const ClassTiming &cls = config.classTiming[size_t(op.opClass)];
+
+    InstTiming t;
+    t.execLatency = specialLatency(config, op, cls.latency);
+    t.units = cls.units;
+    t.occupancy = cls.occupancy;
+
+    // Micro-op count: base 1, plus the memory micro-ops.
+    switch (op.mem) {
+      case MemMode::None:
+      case MemMode::AddrOnly:
+        t.uops = 1;
+        break;
+      case MemMode::Load:
+        t.uops = op.opClass == OpClass::Load ? 1 : 2;
+        break;
+      case MemMode::Store:
+        t.uops = 1; // fused store-address + store-data
+        break;
+      case MemMode::LoadStore:
+        t.uops = 4; // load + op + store-address + store-data
+        break;
+    }
+    if (op.opClass == OpClass::IntDiv)
+        t.uops += config.uarch == Uarch::Zen2 ? 1 : 9;
+    if (op.opClass == OpClass::VecFma && config.uarch == Uarch::IvyBridge)
+        t.uops += 1; // mul + add on pre-FMA hardware
+
+    // 256-bit penalty (half-width vector datapaths).
+    if (op.isVector && op.width >= 256) {
+        t.occupancy *= config.vec256OccupancyMul;
+        t.uops += config.vec256ExtraUops;
+    }
+
+    // Plain register-register copies are eliminable at rename;
+    // extending moves (movsx/movzx) still execute.
+    t.eliminable = config.moveElimination && op.pureMove;
+
+    return t;
+}
+
+} // namespace difftune::hw

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Per-opcode "physical" characteristics, derived from the hidden
+ * microarchitecture tables plus a handful of opcode-level special
+ * cases (integer-vector latencies, slow VPMULLD, division uop counts).
+ */
+
+#ifndef DIFFTUNE_HW_INST_MODEL_HH
+#define DIFFTUNE_HW_INST_MODEL_HH
+
+#include "hw/uarch.hh"
+#include "isa/instruction.hh"
+
+namespace difftune::hw
+{
+
+/** Resolved physical characteristics of one opcode on one uarch. */
+struct InstTiming
+{
+    int execLatency = 1;  ///< compute latency, excluding load latency
+    int uops = 1;         ///< micro-ops through rename
+    int units = 1;        ///< execution-unit pool size
+    int occupancy = 1;    ///< unit busy cycles per operation
+    bool eliminable = false; ///< removable at rename (mov rr)
+};
+
+/** @return physical timing of @p op under @p config. */
+InstTiming instTiming(const UarchConfig &config, isa::OpcodeId op);
+
+} // namespace difftune::hw
+
+#endif // DIFFTUNE_HW_INST_MODEL_HH

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * RefMachine implementation.
+ */
+
+#include "hw/ref_machine.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <deque>
+
+#include "base/interval_schedule.hh"
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "hw/inst_model.hh"
+
+namespace difftune::hw
+{
+
+RefMachine::RefMachine(Uarch uarch, int iterations)
+    : config_(uarchConfig(uarch)), iterations_(iterations)
+{
+}
+
+namespace
+{
+
+using isa::MemMode;
+using isa::OpClass;
+
+/** Store-forwarding table entry. */
+struct StoreRecord
+{
+    uint32_t addrKey;
+    int64_t forwardReady;
+};
+
+} // namespace
+
+double
+RefMachine::idealTiming(const isa::BasicBlock &block) const
+{
+    if (block.empty())
+        return 0.0;
+
+    const UarchConfig &cfg = config_;
+
+    std::array<int64_t, isa::numRegs> reg_ready{};
+    std::vector<PoolSchedule> pools;
+    pools.reserve(size_t(OpClass::NumOpClasses));
+    for (size_t cls = 0; cls < size_t(OpClass::NumOpClasses); ++cls)
+        pools.emplace_back(cfg.classTiming[cls].units);
+
+    std::vector<StoreRecord> stores;
+    stores.reserve(block.size());
+    auto findStore = [&stores](uint32_t key) -> StoreRecord * {
+        for (auto &record : stores)
+            if (record.addrKey == key)
+                return &record;
+        return nullptr;
+    };
+
+    std::deque<std::pair<int64_t, int>> rob; // (retire cycle, uops)
+    int rob_used = 0;
+
+    int64_t cycle = 0;
+    int bandwidth_left = cfg.renameWidth;
+    double elim_credit = cfg.elimPerCycle;
+    int64_t retire_frontier = 0;
+    int64_t max_retire = 1;
+
+    auto retireUpTo = [&](int64_t now) {
+        while (!rob.empty() && rob.front().first <= now) {
+            rob_used -= rob.front().second;
+            rob.pop_front();
+        }
+    };
+    auto newCycle = [&](int64_t next) {
+        cycle = next;
+        bandwidth_left = cfg.renameWidth;
+        elim_credit = std::min(elim_credit + cfg.elimPerCycle,
+                               2.0 * cfg.elimPerCycle);
+        retireUpTo(cycle);
+    };
+
+    for (int iter = 0; iter < iterations_; ++iter) {
+        if ((iter & 0xf) == 0) {
+            for (auto &pool : pools)
+                pool.prune(cycle);
+        }
+        for (const auto &inst : block.insts) {
+            const auto &op = inst.info();
+            const InstTiming timing = instTiming(cfg, inst.opcode);
+            const bool zero_idiom = inst.isZeroIdiom();
+            const bool eliminated = zero_idiom || timing.eliminable;
+            const int uops = eliminated ? 1 : timing.uops;
+
+            // ---- Rename/dispatch.
+            retireUpTo(cycle);
+            while (rob_used + uops > cfg.robSize && !rob.empty())
+                newCycle(std::max(cycle + 1, rob.front().first));
+            rob_used += uops;
+
+            if (eliminated) {
+                // Eliminations consume rename bandwidth plus a slot of
+                // the elimination budget.
+                while (bandwidth_left == 0 || elim_credit < 1.0)
+                    newCycle(cycle + 1);
+                --bandwidth_left;
+                elim_credit -= 1.0;
+                for (isa::RegId reg : inst.writes)
+                    reg_ready[reg] = cycle;
+                retire_frontier = std::max(retire_frontier, cycle);
+                rob.push_back({retire_frontier, uops});
+                max_retire = std::max(max_retire, retire_frontier);
+                continue;
+            }
+
+            int remaining = uops;
+            while (remaining > 0) {
+                if (bandwidth_left == 0)
+                    newCycle(cycle + 1);
+                int take = std::min(remaining, bandwidth_left);
+                remaining -= take;
+                bandwidth_left -= take;
+            }
+            const int64_t renamed = cycle;
+
+            // ---- Register dependences. The stack engine provides rsp
+            // updates at rename, so stack ops do not chain on rsp.
+            int64_t reg_deps = renamed;
+            for (isa::RegId reg : inst.reads) {
+                if (op.stackOp && reg == isa::stackPointer)
+                    continue;
+                reg_deps = std::max(reg_deps, reg_ready[reg]);
+            }
+
+            const bool has_load = op.mem == MemMode::Load ||
+                                  op.mem == MemMode::LoadStore;
+            const bool has_store = op.mem == MemMode::Store ||
+                                   op.mem == MemMode::LoadStore;
+            const uint32_t addr_key = inst.mem.addressKey();
+
+            // ---- Load micro-op.
+            int64_t data_ready = reg_deps;
+            if (has_load) {
+                int64_t addr_ready = renamed;
+                if (!op.stackOp)
+                    addr_ready = std::max(addr_ready,
+                                          reg_ready[inst.mem.base]);
+                int64_t load_issue =
+                    pools[size_t(OpClass::Load)].acquire(addr_ready, 1);
+                int64_t load_data = load_issue + cfg.l1Latency;
+                if (!op.stackOp) {
+                    if (const StoreRecord *rec = findStore(addr_key)) {
+                        load_data =
+                            std::max(load_data, rec->forwardReady);
+                    }
+                }
+                data_ready = std::max(data_ready, load_data);
+            }
+
+            // ---- Execute micro-op. Pure loads complete when their
+            // data arrives; pure stores are handled by the store
+            // micro-op below; everything else runs through its
+            // class's execution-unit pool.
+            int64_t result = data_ready;
+            const bool has_exec = op.opClass != OpClass::Nop &&
+                                  op.opClass != OpClass::Load &&
+                                  op.opClass != OpClass::Store;
+            if (has_exec) {
+                int64_t exec_issue = pools[size_t(op.opClass)].acquire(
+                    std::max(data_ready, renamed), timing.occupancy);
+                result = exec_issue + timing.execLatency;
+            }
+
+            // ---- Store micro-op.
+            int64_t store_done = 0;
+            if (has_store) {
+                int64_t store_issue = pools[size_t(OpClass::Store)]
+                                          .acquire(result, 1);
+                store_done = store_issue + cfg.storeCommitDelay;
+                if (!op.stackOp) {
+                    int64_t fwd = store_issue + cfg.storeForwardDelay;
+                    if (StoreRecord *rec = findStore(addr_key))
+                        rec->forwardReady = fwd;
+                    else
+                        stores.push_back({addr_key, fwd});
+                }
+            }
+
+            // ---- Writeback.
+            for (isa::RegId reg : inst.writes) {
+                if (op.stackOp && reg == isa::stackPointer) {
+                    reg_ready[reg] = renamed;
+                    continue;
+                }
+                reg_ready[reg] = result;
+            }
+
+            // ---- In-order retire.
+            int64_t complete = std::max({result, store_done, renamed});
+            retire_frontier = std::max(retire_frontier, complete);
+            rob.push_back({retire_frontier, uops});
+            max_retire = std::max(max_retire, retire_frontier);
+        }
+    }
+
+    return double(max_retire) / double(iterations_);
+}
+
+double
+RefMachine::measure(const isa::BasicBlock &block) const
+{
+    const double ideal = idealTiming(block);
+    if (ideal == 0.0)
+        return 0.0;
+    Rng rng(block.hash() ^ config_.measurementSeed);
+    const double noise = std::exp(rng.normal(0.0, config_.noiseStd));
+    return ideal * noise;
+}
+
+} // namespace difftune::hw

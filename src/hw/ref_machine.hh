@@ -1,0 +1,63 @@
+/**
+ * @file
+ * RefMachine: the hidden-parameter reference machine that plays the
+ * role of the physical CPUs in the paper's evaluation.
+ *
+ * RefMachine is deliberately richer than the simulators under study.
+ * It models:
+ *  - a rename/dispatch frontend with per-cycle width and a separate
+ *    elimination budget for zero idioms and register-register moves
+ *    (which execute in zero cycles and break dependences);
+ *  - a stack engine (push/pop update rsp at rename, for free);
+ *  - per-functional-class execution-unit pools with occupancy
+ *    (non-pipelined dividers), rather than a flat port map;
+ *  - L1 load latency and store-to-load forwarding chains through
+ *    symbolic addresses — the effect llvm-mca structurally cannot
+ *    express (the ADD32mr case study of Section VI-C);
+ *  - deterministic multiplicative measurement noise per block,
+ *    standing in for the BHive harness's residual variance.
+ *
+ * Simulators never see any of this; they only consume ParamTables.
+ */
+
+#ifndef DIFFTUNE_HW_REF_MACHINE_HH
+#define DIFFTUNE_HW_REF_MACHINE_HH
+
+#include "hw/uarch.hh"
+#include "isa/instruction.hh"
+
+namespace difftune::hw
+{
+
+/** Ground-truth basic-block timing "hardware". */
+class RefMachine
+{
+  public:
+    /**
+     * @param uarch which hidden microarchitecture to emulate
+     * @param iterations unrolled repetitions per measurement
+     */
+    explicit RefMachine(Uarch uarch, int iterations = 100);
+
+    /**
+     * Measured timing: cycles for iterations() repetitions divided by
+     * the iteration count, with deterministic per-block measurement
+     * noise applied (the same block always measures the same value).
+     */
+    double measure(const isa::BasicBlock &block) const;
+
+    /** Noise-free timing (for tests and case-study analysis). */
+    double idealTiming(const isa::BasicBlock &block) const;
+
+    Uarch uarch() const { return config_.uarch; }
+    int iterations() const { return iterations_; }
+    const UarchConfig &config() const { return config_; }
+
+  private:
+    const UarchConfig &config_;
+    int iterations_;
+};
+
+} // namespace difftune::hw
+
+#endif // DIFFTUNE_HW_REF_MACHINE_HH

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * The hidden microarchitecture tables.
+ *
+ * Values are loosely calibrated to public measurements (Agner Fog's
+ * tables, uops.info) so that cross-uarch differences have the right
+ * sign and rough magnitude: Skylake's higher FP-add latency but
+ * faster divider, Ivy Bridge's narrower vector units and lack of
+ * native FMA, Zen 2's wider rename and different latency profile.
+ */
+
+#include "hw/uarch.hh"
+
+#include "base/logging.hh"
+
+namespace difftune::hw
+{
+
+const std::vector<Uarch> &
+allUarches()
+{
+    static const std::vector<Uarch> all = {
+        Uarch::IvyBridge, Uarch::Haswell, Uarch::Skylake, Uarch::Zen2};
+    return all;
+}
+
+const char *
+uarchName(Uarch uarch)
+{
+    switch (uarch) {
+      case Uarch::IvyBridge: return "IvyBridge";
+      case Uarch::Haswell: return "Haswell";
+      case Uarch::Skylake: return "Skylake";
+      case Uarch::Zen2: return "Zen2";
+      default: return "?";
+    }
+}
+
+bool
+isIntel(Uarch uarch)
+{
+    return uarch != Uarch::Zen2;
+}
+
+namespace
+{
+
+using isa::OpClass;
+
+void
+setClass(UarchConfig &config, OpClass cls, int latency, int units,
+         int occupancy = 1)
+{
+    config.classTiming[size_t(cls)] = {latency, units, occupancy};
+}
+
+UarchConfig
+makeIvyBridge()
+{
+    UarchConfig c;
+    c.uarch = Uarch::IvyBridge;
+    c.name = "IvyBridge";
+    c.renameWidth = 4;
+    c.robSize = 168;
+    c.elimPerCycle = 2.8;
+    c.moveElimination = true;
+    c.l1Latency = 4;
+    c.storeForwardDelay = 6;
+    c.noiseStd = 0.025;
+    c.measurementSeed = 0x10b0001;
+    setClass(c, OpClass::IntAlu, 1, 3);
+    setClass(c, OpClass::IntMul, 3, 1);
+    setClass(c, OpClass::IntDiv, 26, 1, 12);
+    setClass(c, OpClass::Shift, 1, 2);
+    setClass(c, OpClass::Lea, 1, 2);
+    setClass(c, OpClass::Mov, 1, 3);
+    setClass(c, OpClass::Load, 0, 2);   // latency comes from l1Latency
+    setClass(c, OpClass::Store, 1, 1);
+    setClass(c, OpClass::Setcc, 1, 2);
+    setClass(c, OpClass::Cmov, 2, 2);
+    setClass(c, OpClass::VecAlu, 3, 1);
+    setClass(c, OpClass::VecMul, 5, 1);
+    setClass(c, OpClass::VecDiv, 14, 1, 14);
+    setClass(c, OpClass::VecFma, 8, 1, 2); // no native FMA: mul + add
+    setClass(c, OpClass::VecMov, 1, 2);
+    setClass(c, OpClass::VecShuf, 1, 1);
+    setClass(c, OpClass::Nop, 0, 4);
+    c.vec256OccupancyMul = 2; // 256-bit ops split across halves
+    c.vec256ExtraUops = 1;
+    return c;
+}
+
+UarchConfig
+makeHaswell()
+{
+    UarchConfig c;
+    c.uarch = Uarch::Haswell;
+    c.name = "Haswell";
+    c.renameWidth = 4;
+    c.robSize = 192;
+    c.elimPerCycle = 3.2;
+    c.moveElimination = true;
+    c.l1Latency = 4;
+    c.storeForwardDelay = 5;
+    c.noiseStd = 0.02;
+    c.measurementSeed = 0x45570001;
+    setClass(c, OpClass::IntAlu, 1, 4);
+    setClass(c, OpClass::IntMul, 3, 1);
+    setClass(c, OpClass::IntDiv, 25, 1, 10);
+    setClass(c, OpClass::Shift, 1, 2);
+    setClass(c, OpClass::Lea, 1, 2);
+    setClass(c, OpClass::Mov, 1, 4);
+    setClass(c, OpClass::Load, 0, 2);
+    setClass(c, OpClass::Store, 1, 1);
+    setClass(c, OpClass::Setcc, 1, 2);
+    setClass(c, OpClass::Cmov, 2, 2);
+    setClass(c, OpClass::VecAlu, 3, 2);
+    setClass(c, OpClass::VecMul, 5, 2);
+    setClass(c, OpClass::VecDiv, 13, 1, 8);
+    setClass(c, OpClass::VecFma, 5, 2);
+    setClass(c, OpClass::VecMov, 1, 3);
+    setClass(c, OpClass::VecShuf, 1, 1);
+    setClass(c, OpClass::Nop, 0, 4);
+    return c;
+}
+
+UarchConfig
+makeSkylake()
+{
+    UarchConfig c;
+    c.uarch = Uarch::Skylake;
+    c.name = "Skylake";
+    c.renameWidth = 4;
+    c.robSize = 224;
+    c.elimPerCycle = 3.5;
+    c.moveElimination = true;
+    c.l1Latency = 4;
+    c.storeForwardDelay = 5;
+    c.noiseStd = 0.02;
+    c.measurementSeed = 0x534b0001;
+    setClass(c, OpClass::IntAlu, 1, 4);
+    setClass(c, OpClass::IntMul, 3, 1);
+    setClass(c, OpClass::IntDiv, 21, 1, 6);
+    setClass(c, OpClass::Shift, 1, 2);
+    setClass(c, OpClass::Lea, 1, 2);
+    setClass(c, OpClass::Mov, 1, 4);
+    setClass(c, OpClass::Load, 0, 2);
+    setClass(c, OpClass::Store, 1, 1);
+    setClass(c, OpClass::Setcc, 1, 2);
+    setClass(c, OpClass::Cmov, 1, 2);
+    setClass(c, OpClass::VecAlu, 4, 2);
+    setClass(c, OpClass::VecMul, 4, 2);
+    setClass(c, OpClass::VecDiv, 11, 1, 5);
+    setClass(c, OpClass::VecFma, 4, 2);
+    setClass(c, OpClass::VecMov, 1, 3);
+    setClass(c, OpClass::VecShuf, 1, 1);
+    setClass(c, OpClass::Nop, 0, 4);
+    return c;
+}
+
+UarchConfig
+makeZen2()
+{
+    UarchConfig c;
+    c.uarch = Uarch::Zen2;
+    c.name = "Zen2";
+    c.renameWidth = 5;
+    c.robSize = 224;
+    c.elimPerCycle = 4.0;
+    c.moveElimination = true;
+    c.l1Latency = 4;
+    c.storeForwardDelay = 7;
+    c.noiseStd = 0.03;
+    c.measurementSeed = 0x5a450002;
+    setClass(c, OpClass::IntAlu, 1, 4);
+    setClass(c, OpClass::IntMul, 3, 1);
+    setClass(c, OpClass::IntDiv, 17, 1, 6);
+    setClass(c, OpClass::Shift, 1, 3);
+    setClass(c, OpClass::Lea, 1, 3);
+    setClass(c, OpClass::Mov, 1, 4);
+    setClass(c, OpClass::Load, 0, 2);
+    setClass(c, OpClass::Store, 1, 1);
+    setClass(c, OpClass::Setcc, 1, 3);
+    setClass(c, OpClass::Cmov, 1, 3);
+    setClass(c, OpClass::VecAlu, 3, 2);
+    setClass(c, OpClass::VecMul, 3, 2);
+    setClass(c, OpClass::VecDiv, 10, 1, 5);
+    setClass(c, OpClass::VecFma, 5, 2);
+    setClass(c, OpClass::VecMov, 1, 4);
+    setClass(c, OpClass::VecShuf, 1, 2);
+    setClass(c, OpClass::Nop, 0, 5);
+    return c;
+}
+
+} // namespace
+
+const UarchConfig &
+uarchConfig(Uarch uarch)
+{
+    static const UarchConfig ivb = makeIvyBridge();
+    static const UarchConfig hsw = makeHaswell();
+    static const UarchConfig skl = makeSkylake();
+    static const UarchConfig zen = makeZen2();
+    switch (uarch) {
+      case Uarch::IvyBridge: return ivb;
+      case Uarch::Haswell: return hsw;
+      case Uarch::Skylake: return skl;
+      case Uarch::Zen2: return zen;
+      default: panic("bad uarch {}", int(uarch));
+    }
+}
+
+} // namespace difftune::hw

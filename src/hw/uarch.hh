@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Hidden microarchitecture configurations for the reference machine.
+ *
+ * These play the role of the four physical CPUs in the paper's
+ * evaluation (Ivy Bridge, Haswell, Skylake, Zen 2). The values here
+ * are the "physical truth" that the BHive-style measurement harness
+ * observes end-to-end; they are deliberately richer than anything
+ * XMca can express (execution-unit pools per functional class, zero
+ * idiom elimination, move elimination, store-to-load forwarding),
+ * which gives the simulator family an irreducible model error just as
+ * real hardware does for llvm-mca.
+ *
+ * Nothing outside src/hw may read these tables to configure a
+ * simulator: simulators only ever see ParamTables (either the
+ * "documented" defaults derived in default_table.cc or learned ones).
+ */
+
+#ifndef DIFFTUNE_HW_UARCH_HH
+#define DIFFTUNE_HW_UARCH_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/opcode.hh"
+
+namespace difftune::hw
+{
+
+/** The four evaluated microarchitectures. */
+enum class Uarch : uint8_t
+{
+    IvyBridge,
+    Haswell,
+    Skylake,
+    Zen2,
+};
+
+/** All microarchitectures, in the paper's table order. */
+const std::vector<Uarch> &allUarches();
+
+/** @return e.g. "Haswell". */
+const char *uarchName(Uarch uarch);
+
+/** @return true for the Intel microarchitectures (IACA coverage). */
+bool isIntel(Uarch uarch);
+
+/** Timing/resource description of one functional class. */
+struct ClassTiming
+{
+    int latency = 1;   ///< result latency in cycles
+    int units = 1;     ///< number of execution units in the pool
+    int occupancy = 1; ///< cycles a unit stays busy per operation
+};
+
+/** Hidden "physical" configuration of one microarchitecture. */
+struct UarchConfig
+{
+    Uarch uarch;
+    std::string name;
+
+    int renameWidth = 4;        ///< uops renamed/dispatched per cycle
+    int robSize = 192;          ///< true reorder-buffer capacity
+    double elimPerCycle = 3.2;  ///< zero-idiom/move eliminations per cycle
+    bool moveElimination = true; ///< reg-reg moves eliminated at rename
+
+    int l1Latency = 4;          ///< load-to-use latency, L1 hit
+    int storeForwardDelay = 5;  ///< store -> dependent load delay
+    int storeCommitDelay = 1;   ///< issue -> data available to forward
+
+    /** Per-OpClass latency / unit-pool description. */
+    std::array<ClassTiming,
+               size_t(isa::OpClass::NumOpClasses)> classTiming{};
+
+    /** Occupancy multiplier for 256-bit vector operations. */
+    int vec256OccupancyMul = 1;
+    /** Extra uops for 256-bit vector operations. */
+    int vec256ExtraUops = 0;
+
+    double noiseStd = 0.02;     ///< multiplicative measurement noise
+    uint64_t measurementSeed = 1; ///< seeds per-block noise draws
+};
+
+/** @return the hidden configuration for @p uarch. */
+const UarchConfig &uarchConfig(Uarch uarch);
+
+} // namespace difftune::hw
+
+#endif // DIFFTUNE_HW_UARCH_HH

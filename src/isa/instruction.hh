@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Instruction and BasicBlock representations.
+ *
+ * An Instruction stores its opcode plus fully-resolved dependence
+ * information: the canonical registers it reads and writes (including
+ * implicit operands such as flags and the stack pointer) and its
+ * memory reference. Blocks are straight-line sequences, mirroring
+ * llvm-mca's input domain (no branches, jumps or loops).
+ */
+
+#ifndef DIFFTUNE_ISA_INSTRUCTION_HH
+#define DIFFTUNE_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+#include "isa/registers.hh"
+
+namespace difftune::isa
+{
+
+/** Memory reference: base register + displacement (no index scale). */
+struct MemRef
+{
+    RegId base = invalidReg;
+    int32_t disp = 0;
+
+    /** Symbolic address key used for alias analysis in RefMachine. */
+    uint32_t
+    addressKey() const
+    {
+        return (uint32_t(base) << 24) ^ uint32_t(disp & 0xffffff);
+    }
+};
+
+/** One decoded instruction with resolved operands. */
+struct Instruction
+{
+    OpcodeId opcode = invalidOpcode;
+
+    /** Explicit register operands in slot order (for printing). */
+    std::vector<RegId> slots;
+
+    /** Canonical registers read (explicit + implicit). */
+    std::vector<RegId> reads;
+    /** Canonical registers written (explicit + implicit). */
+    std::vector<RegId> writes;
+
+    MemRef mem;        ///< valid when the opcode has a memory operand
+    int64_t imm = 0;   ///< valid when the opcode has an immediate
+
+    /** @return opcode metadata from the shared Isa. */
+    const OpcodeInfo &info() const { return theIsa().info(opcode); }
+
+    /**
+     * @return true when this instance is a zero idiom: a
+     * zero-idiom-capable opcode whose two read slots name the same
+     * register (e.g. xor %eax, %eax).
+     */
+    bool isZeroIdiom() const;
+};
+
+/** A straight-line sequence of instructions. */
+struct BasicBlock
+{
+    std::vector<Instruction> insts;
+
+    size_t size() const { return insts.size(); }
+    bool empty() const { return insts.empty(); }
+
+    /** Stable content hash (used for dataset deduplication). */
+    uint64_t hash() const;
+};
+
+/**
+ * Build a well-formed Instruction for @p opcode.
+ *
+ * @param opcode opcode to instantiate
+ * @param slot_regs registers for the explicit operand slots, in order
+ *        (size must equal the opcode's numRegOps())
+ * @param mem memory reference (required iff the opcode accesses
+ *        memory or is AddrOnly)
+ * @param imm immediate value (meaningful iff the opcode hasImm)
+ * @return the instruction with reads/writes fully resolved
+ */
+Instruction makeInstruction(OpcodeId opcode,
+                            const std::vector<RegId> &slot_regs,
+                            MemRef mem = MemRef{}, int64_t imm = 0);
+
+/** Render one instruction in AT&T-flavored assembly. */
+std::string toString(const Instruction &inst);
+
+/** Render a block, one instruction per line. */
+std::string toString(const BasicBlock &block);
+
+} // namespace difftune::isa
+
+#endif // DIFFTUNE_ISA_INSTRUCTION_HH

@@ -1,0 +1,465 @@
+/**
+ * @file
+ * Construction of the synthetic x86-like opcode table.
+ *
+ * The table is modeled on the subset of x86-64 that dominates the
+ * BHive dataset: scalar ALU ops in register/immediate/memory forms,
+ * moves, shifts, multiplies/divides, lea, stack ops, flag consumers,
+ * and SSE/AVX-style packed operations at 128 and 256 bits. The result
+ * is ~200 opcodes, each instantiable into well-formed instructions.
+ */
+
+#include "isa/isa.hh"
+
+#include "base/logging.hh"
+#include "isa/registers.hh"
+
+namespace difftune::isa
+{
+
+const char *
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return "IntAlu";
+      case OpClass::IntMul: return "IntMul";
+      case OpClass::IntDiv: return "IntDiv";
+      case OpClass::Shift: return "Shift";
+      case OpClass::Lea: return "Lea";
+      case OpClass::Mov: return "Mov";
+      case OpClass::Load: return "Load";
+      case OpClass::Store: return "Store";
+      case OpClass::Setcc: return "Setcc";
+      case OpClass::Cmov: return "Cmov";
+      case OpClass::VecAlu: return "VecAlu";
+      case OpClass::VecMul: return "VecMul";
+      case OpClass::VecDiv: return "VecDiv";
+      case OpClass::VecFma: return "VecFma";
+      case OpClass::VecMov: return "VecMov";
+      case OpClass::VecShuf: return "VecShuf";
+      case OpClass::Nop: return "Nop";
+      default: return "?";
+    }
+}
+
+Isa::Isa()
+{
+    buildTable();
+}
+
+OpcodeId
+Isa::add(OpcodeInfo info)
+{
+    panic_if(byName_.count(info.name), "duplicate opcode {}", info.name);
+    OpcodeId id = static_cast<OpcodeId>(opcodes_.size());
+    byName_[info.name] = id;
+    opcodes_.push_back(std::move(info));
+    return id;
+}
+
+OpcodeId
+Isa::opcodeByName(const std::string &name) const
+{
+    auto it = byName_.find(name);
+    return it == byName_.end() ? invalidOpcode : it->second;
+}
+
+std::vector<OpcodeId>
+Isa::opcodesOfClass(OpClass cls) const
+{
+    std::vector<OpcodeId> result;
+    for (size_t i = 0; i < opcodes_.size(); ++i)
+        if (opcodes_[i].opClass == cls)
+            result.push_back(static_cast<OpcodeId>(i));
+    return result;
+}
+
+std::vector<OpcodeId>
+Isa::opcodesWithMem(MemMode mem) const
+{
+    std::vector<OpcodeId> result;
+    for (size_t i = 0; i < opcodes_.size(); ++i)
+        if (opcodes_[i].mem == mem)
+            result.push_back(static_cast<OpcodeId>(i));
+    return result;
+}
+
+namespace
+{
+
+using Roles = std::vector<OperandRole>;
+
+OpcodeInfo
+makeInfo(std::string name, OpClass cls, uint16_t width, MemMode mem,
+         Roles roles)
+{
+    OpcodeInfo info;
+    info.name = std::move(name);
+    info.opClass = cls;
+    info.width = width;
+    info.mem = mem;
+    info.regOps = std::move(roles);
+    return info;
+}
+
+} // namespace
+
+void
+Isa::buildTable()
+{
+    const Roles rmwSrc = {OperandRole::Rmw, OperandRole::Src};
+    const Roles rmwOnly = {OperandRole::Rmw};
+    const Roles srcOnly = {OperandRole::Src};
+    const Roles srcSrc = {OperandRole::Src, OperandRole::Src};
+    const Roles dstSrc = {OperandRole::Dst, OperandRole::Src};
+    const Roles dstOnly = {OperandRole::Dst};
+    const Roles none = {};
+
+    // --- Scalar binary ALU: ADD/SUB/AND/OR/XOR/CMP in rr/ri/rm/mr/mi
+    struct BinSpec { const char *base; bool writesReg; bool zeroIdiom; };
+    const BinSpec bins[] = {
+        {"ADD", true, false}, {"SUB", true, true}, {"AND", true, false},
+        {"OR", true, false},  {"XOR", true, true}, {"CMP", false, false},
+    };
+    for (const auto &bin : bins) {
+        for (uint16_t width : {32, 64}) {
+            const std::string stem =
+                std::string(bin.base) + std::to_string(width);
+            // rr: dst op= src (or compare-only for CMP)
+            {
+                auto info = makeInfo(stem + "rr", OpClass::IntAlu, width,
+                                     MemMode::None,
+                                     bin.writesReg ? rmwSrc : srcSrc);
+                info.writesFlags = true;
+                info.zeroIdiom = bin.zeroIdiom;
+                add(std::move(info));
+            }
+            // ri: dst op= imm
+            {
+                auto info = makeInfo(stem + "ri", OpClass::IntAlu, width,
+                                     MemMode::None,
+                                     bin.writesReg ? rmwOnly : srcOnly);
+                info.writesFlags = true;
+                info.hasImm = true;
+                add(std::move(info));
+            }
+            // rm: dst op= [mem]
+            {
+                auto info = makeInfo(stem + "rm", OpClass::IntAlu, width,
+                                     MemMode::Load,
+                                     bin.writesReg ? rmwOnly : srcOnly);
+                info.writesFlags = true;
+                add(std::move(info));
+            }
+            // mr: [mem] op= src (RMW on memory; CMP only reads)
+            {
+                auto info = makeInfo(
+                    stem + "mr", OpClass::IntAlu, width,
+                    bin.writesReg ? MemMode::LoadStore : MemMode::Load,
+                    srcOnly);
+                info.writesFlags = true;
+                add(std::move(info));
+            }
+            // mi: [mem] op= imm
+            {
+                auto info = makeInfo(
+                    stem + "mi", OpClass::IntAlu, width,
+                    bin.writesReg ? MemMode::LoadStore : MemMode::Load,
+                    none);
+                info.writesFlags = true;
+                info.hasImm = true;
+                add(std::move(info));
+            }
+        }
+    }
+
+    // --- TEST (read-only, writes flags)
+    for (uint16_t width : {32, 64}) {
+        const std::string stem = "TEST" + std::to_string(width);
+        {
+            auto info = makeInfo(stem + "rr", OpClass::IntAlu, width,
+                                 MemMode::None, srcSrc);
+            info.writesFlags = true;
+            add(std::move(info));
+        }
+        {
+            auto info = makeInfo(stem + "ri", OpClass::IntAlu, width,
+                                 MemMode::None, srcOnly);
+            info.writesFlags = true;
+            info.hasImm = true;
+            add(std::move(info));
+        }
+    }
+
+    // --- MOV family
+    for (uint16_t width : {32, 64}) {
+        const std::string stem = "MOV" + std::to_string(width);
+        {
+            auto info = makeInfo(stem + "rr", OpClass::Mov, width,
+                                 MemMode::None, dstSrc);
+            info.pureMove = true;
+            add(std::move(info));
+        }
+        {
+            auto info = makeInfo(stem + "ri", OpClass::Mov, width,
+                                 MemMode::None, dstOnly);
+            info.hasImm = true;
+            add(std::move(info));
+        }
+        add(makeInfo(stem + "rm", OpClass::Load, width, MemMode::Load,
+                     dstOnly));
+        add(makeInfo(stem + "mr", OpClass::Store, width, MemMode::Store,
+                     srcOnly));
+        {
+            auto info = makeInfo(stem + "mi", OpClass::Store, width,
+                                 MemMode::Store, none);
+            info.hasImm = true;
+            add(std::move(info));
+        }
+    }
+    // Sign/zero extensions.
+    add(makeInfo("MOVSX64rr32", OpClass::Mov, 64, MemMode::None, dstSrc));
+    add(makeInfo("MOVZX64rr32", OpClass::Mov, 64, MemMode::None, dstSrc));
+    add(makeInfo("MOVSX64rm32", OpClass::Load, 64, MemMode::Load, dstOnly));
+    add(makeInfo("MOVZX64rm32", OpClass::Load, 64, MemMode::Load, dstOnly));
+
+    // --- Shifts: SHL/SHR/SAR in ri and mi forms
+    for (const char *base : {"SHL", "SHR", "SAR"}) {
+        for (uint16_t width : {32, 64}) {
+            const std::string stem =
+                std::string(base) + std::to_string(width);
+            {
+                auto info = makeInfo(stem + "ri", OpClass::Shift, width,
+                                     MemMode::None, rmwOnly);
+                info.writesFlags = true;
+                info.hasImm = true;
+                add(std::move(info));
+            }
+            {
+                // e.g. SHR64mi: shrq $5, 16(%rsp) — the Figure 2 block.
+                auto info = makeInfo(stem + "mi", OpClass::Shift, width,
+                                     MemMode::LoadStore, none);
+                info.writesFlags = true;
+                info.hasImm = true;
+                add(std::move(info));
+            }
+        }
+    }
+
+    // --- Multiplies and divides
+    for (uint16_t width : {32, 64}) {
+        const std::string w = std::to_string(width);
+        {
+            auto info = makeInfo("IMUL" + w + "rr", OpClass::IntMul, width,
+                                 MemMode::None, rmwSrc);
+            info.writesFlags = true;
+            add(std::move(info));
+        }
+        {
+            auto info = makeInfo("IMUL" + w + "rm", OpClass::IntMul, width,
+                                 MemMode::Load, rmwOnly);
+            info.writesFlags = true;
+            add(std::move(info));
+        }
+        {
+            auto info = makeInfo("IMUL" + w + "rri", OpClass::IntMul, width,
+                                 MemMode::None, dstSrc);
+            info.writesFlags = true;
+            info.hasImm = true;
+            add(std::move(info));
+        }
+        {
+            auto info = makeInfo("DIV" + w + "r", OpClass::IntDiv, width,
+                                 MemMode::None, srcOnly);
+            info.writesFlags = true;
+            info.usesRaxRdx = true;
+            add(std::move(info));
+        }
+        {
+            auto info = makeInfo("IDIV" + w + "r", OpClass::IntDiv, width,
+                                 MemMode::None, srcOnly);
+            info.writesFlags = true;
+            info.usesRaxRdx = true;
+            add(std::move(info));
+        }
+    }
+
+    // --- LEA (one- and two-register address forms)
+    add(makeInfo("LEA64r", OpClass::Lea, 64, MemMode::AddrOnly, dstOnly));
+    {
+        // lea with base+index: reads one extra register.
+        auto info = makeInfo("LEA64rr", OpClass::Lea, 64, MemMode::AddrOnly,
+                             {OperandRole::Dst, OperandRole::Src});
+        add(std::move(info));
+    }
+
+    // --- Unary RMW ops
+    for (const char *base : {"INC", "DEC", "NEG", "NOT"}) {
+        for (uint16_t width : {32, 64}) {
+            const std::string stem =
+                std::string(base) + std::to_string(width);
+            {
+                auto info = makeInfo(stem + "r", OpClass::IntAlu, width,
+                                     MemMode::None, rmwOnly);
+                info.writesFlags = std::string(base) != "NOT";
+                add(std::move(info));
+            }
+            {
+                auto info = makeInfo(stem + "m", OpClass::IntAlu, width,
+                                     MemMode::LoadStore, none);
+                info.writesFlags = std::string(base) != "NOT";
+                add(std::move(info));
+            }
+        }
+    }
+
+    // --- Stack operations (implicit rsp read-modify-write)
+    {
+        auto info = makeInfo("PUSH64r", OpClass::Store, 64, MemMode::Store,
+                             srcOnly);
+        info.stackOp = true;
+        add(std::move(info));
+    }
+    {
+        auto info = makeInfo("PUSH64i", OpClass::Store, 64, MemMode::Store,
+                             none);
+        info.stackOp = true;
+        info.hasImm = true;
+        add(std::move(info));
+    }
+    {
+        auto info = makeInfo("POP64r", OpClass::Load, 64, MemMode::Load,
+                             dstOnly);
+        info.stackOp = true;
+        add(std::move(info));
+    }
+
+    // --- Flag consumers
+    {
+        auto info = makeInfo("SETCC8r", OpClass::Setcc, 8, MemMode::None,
+                             dstOnly);
+        info.readsFlags = true;
+        add(std::move(info));
+    }
+    for (uint16_t width : {32, 64}) {
+        auto info = makeInfo("CMOV" + std::to_string(width) + "rr",
+                             OpClass::Cmov, width, MemMode::None, rmwSrc);
+        info.readsFlags = true;
+        add(std::move(info));
+    }
+
+    // --- NOP
+    add(makeInfo("NOP", OpClass::Nop, 64, MemMode::None, none));
+
+    // --- Vector ops (AVX-style three-operand forms, 128/256 bit)
+    struct VecSpec { const char *base; OpClass cls; bool zeroIdiom; };
+    const VecSpec vecs[] = {
+        {"VADDPS", OpClass::VecAlu, false},
+        {"VSUBPS", OpClass::VecAlu, false},
+        {"VMINPS", OpClass::VecAlu, false},
+        {"VMAXPS", OpClass::VecAlu, false},
+        {"VANDPS", OpClass::VecAlu, false},
+        {"VORPS", OpClass::VecAlu, false},
+        {"VXORPS", OpClass::VecAlu, true},
+        {"VMULPS", OpClass::VecMul, false},
+        {"VDIVPS", OpClass::VecDiv, false},
+        {"VPADDD", OpClass::VecAlu, false},
+        {"VPSUBD", OpClass::VecAlu, false},
+        {"VPAND", OpClass::VecAlu, false},
+        {"VPOR", OpClass::VecAlu, false},
+        {"VPXOR", OpClass::VecAlu, true},
+        {"VPMULLD", OpClass::VecMul, false},
+    };
+    const Roles vecRrr = {OperandRole::Dst, OperandRole::Src,
+                          OperandRole::Src};
+    for (const auto &vec : vecs) {
+        for (uint16_t width : {128, 256}) {
+            const std::string stem =
+                std::string(vec.base) + std::to_string(width);
+            {
+                auto info = makeInfo(stem + "rr", vec.cls, width,
+                                     MemMode::None, vecRrr);
+                info.isVector = true;
+                info.zeroIdiom = vec.zeroIdiom;
+                add(std::move(info));
+            }
+            {
+                auto info = makeInfo(stem + "rm", vec.cls, width,
+                                     MemMode::Load, dstSrc);
+                info.isVector = true;
+                add(std::move(info));
+            }
+        }
+    }
+
+    // --- FMA (destructive accumulator)
+    for (uint16_t width : {128, 256}) {
+        const std::string w = std::to_string(width);
+        {
+            auto info = makeInfo("VFMADD" + w + "rr", OpClass::VecFma, width,
+                                 MemMode::None,
+                                 {OperandRole::Rmw, OperandRole::Src,
+                                  OperandRole::Src});
+            info.isVector = true;
+            add(std::move(info));
+        }
+        {
+            auto info = makeInfo("VFMADD" + w + "rm", OpClass::VecFma, width,
+                                 MemMode::Load, rmwSrc);
+            info.isVector = true;
+            add(std::move(info));
+        }
+    }
+
+    // --- Vector moves, loads, stores, broadcasts, shuffles
+    for (uint16_t width : {128, 256}) {
+        const std::string w = std::to_string(width);
+        {
+            auto info = makeInfo("VMOVAPS" + w + "rr", OpClass::VecMov,
+                                 width, MemMode::None, dstSrc);
+            info.isVector = true;
+            info.pureMove = true;
+            add(std::move(info));
+        }
+        {
+            auto info = makeInfo("VMOVAPS" + w + "rm", OpClass::VecMov,
+                                 width, MemMode::Load, dstOnly);
+            info.isVector = true;
+            add(std::move(info));
+        }
+        {
+            auto info = makeInfo("VMOVAPS" + w + "mr", OpClass::VecMov,
+                                 width, MemMode::Store, srcOnly);
+            info.isVector = true;
+            add(std::move(info));
+        }
+        {
+            auto info = makeInfo("VBROADCASTSS" + w + "rm", OpClass::VecMov,
+                                 width, MemMode::Load, dstOnly);
+            info.isVector = true;
+            add(std::move(info));
+        }
+        {
+            auto info = makeInfo("VSHUFPS" + w + "rr", OpClass::VecShuf,
+                                 width, MemMode::None, vecRrr);
+            info.isVector = true;
+            info.hasImm = true;
+            add(std::move(info));
+        }
+        {
+            auto info = makeInfo("VPSHUFB" + w + "rr", OpClass::VecShuf,
+                                 width, MemMode::None, vecRrr);
+            info.isVector = true;
+            add(std::move(info));
+        }
+    }
+}
+
+const Isa &
+theIsa()
+{
+    static const Isa isa;
+    return isa;
+}
+
+} // namespace difftune::isa

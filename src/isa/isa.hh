@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The Isa registry: the full opcode table of the synthetic x86-like
+ * ISA, built once and shared by every component (simulators, dataset
+ * generator, parameter tables, token encoding).
+ */
+
+#ifndef DIFFTUNE_ISA_ISA_HH
+#define DIFFTUNE_ISA_ISA_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/opcode.hh"
+
+namespace difftune::isa
+{
+
+/**
+ * Immutable opcode registry. Construct via theIsa() — the table is
+ * deterministic, so a single shared instance serves the whole process.
+ */
+class Isa
+{
+  public:
+    Isa();
+
+    /** @return number of opcodes in the table. */
+    size_t numOpcodes() const { return opcodes_.size(); }
+
+    /** @return metadata for opcode @p id. */
+    const OpcodeInfo &
+    info(OpcodeId id) const
+    {
+        return opcodes_[id];
+    }
+
+    /** @return the opcode id for @p name, or invalidOpcode. */
+    OpcodeId opcodeByName(const std::string &name) const;
+
+    /** @return all opcode ids of the given class. */
+    std::vector<OpcodeId> opcodesOfClass(OpClass cls) const;
+
+    /** @return all opcode ids with the given memory mode. */
+    std::vector<OpcodeId> opcodesWithMem(MemMode mem) const;
+
+  private:
+    /** Append an opcode; returns its id. */
+    OpcodeId add(OpcodeInfo info);
+
+    /** Build the full opcode table (called from the constructor). */
+    void buildTable();
+
+    std::vector<OpcodeInfo> opcodes_;
+    std::unordered_map<std::string, OpcodeId> byName_;
+};
+
+/** @return the process-wide shared Isa instance. */
+const Isa &theIsa();
+
+} // namespace difftune::isa
+
+#endif // DIFFTUNE_ISA_ISA_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Opcode metadata for the synthetic x86-like ISA.
+ *
+ * Each opcode carries enough static information to (a) instantiate a
+ * well-formed Instruction given a register assignment, (b) drive the
+ * reference-hardware timing model, and (c) classify blocks into the
+ * BHive-style categories (Scalar / Vec / Ld / St / ...).
+ */
+
+#ifndef DIFFTUNE_ISA_OPCODE_HH
+#define DIFFTUNE_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace difftune::isa
+{
+
+/** Dense opcode identifier, an index into the Isa opcode table. */
+using OpcodeId = uint16_t;
+
+/** Sentinel meaning "no opcode". */
+constexpr OpcodeId invalidOpcode = 0xffff;
+
+/** Functional class of an opcode; drives hardware latency/port tables. */
+enum class OpClass : uint8_t
+{
+    IntAlu,   ///< add/sub/and/or/xor/cmp/test/inc/dec/neg/not
+    IntMul,   ///< imul
+    IntDiv,   ///< div/idiv
+    Shift,    ///< shl/shr/sar
+    Lea,      ///< address computation
+    Mov,      ///< register/immediate moves
+    Load,     ///< pure loads (mov r, m; pop)
+    Store,    ///< pure stores (mov m, r/i; push)
+    Setcc,    ///< flag consumers producing a register
+    Cmov,     ///< conditional move
+    VecAlu,   ///< packed fp/int add/sub/logic/min/max
+    VecMul,   ///< packed multiply
+    VecDiv,   ///< packed divide
+    VecFma,   ///< fused multiply-add
+    VecMov,   ///< vector register moves / loads / stores / broadcast
+    VecShuf,  ///< shuffles / permutes
+    Nop,      ///< no operation
+    NumOpClasses,
+};
+
+/** @return a short printable name for an OpClass. */
+const char *opClassName(OpClass cls);
+
+/** Memory behaviour of an opcode. */
+enum class MemMode : uint8_t
+{
+    None,      ///< no memory operand
+    Load,      ///< reads memory
+    Store,     ///< writes memory
+    LoadStore, ///< read-modify-write on memory
+    AddrOnly,  ///< computes an address but does not access memory (lea)
+};
+
+/** Role of one explicit register operand slot. */
+enum class OperandRole : uint8_t
+{
+    Dst, ///< written only
+    Src, ///< read only
+    Rmw, ///< read and written (destructive destination)
+};
+
+/** Static description of one opcode. */
+struct OpcodeInfo
+{
+    std::string name;                 ///< e.g. "ADD32rr"
+    OpClass opClass = OpClass::IntAlu;
+    uint16_t width = 64;              ///< operation width in bits
+    MemMode mem = MemMode::None;
+    std::vector<OperandRole> regOps;  ///< explicit register slots
+    bool readsFlags = false;
+    bool writesFlags = false;
+    bool hasImm = false;
+    bool stackOp = false;             ///< implicit rsp read-modify-write
+    bool usesRaxRdx = false;          ///< implicit rax/rdx rmw (div)
+    bool zeroIdiom = false;           ///< xor r,r-style zeroing capable
+    bool pureMove = false;            ///< plain reg-reg copy (mov rr)
+    bool isVector = false;
+
+    /** @return number of explicit register operand slots. */
+    size_t numRegOps() const { return regOps.size(); }
+};
+
+} // namespace difftune::isa
+
+#endif // DIFFTUNE_ISA_OPCODE_HH

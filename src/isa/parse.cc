@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Implementation of the canonical-assembly parser.
+ */
+
+#include "isa/parse.hh"
+
+#include <cctype>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace difftune::isa
+{
+
+namespace
+{
+
+/** Split "OP a, b, c" into the opcode name and operand strings. */
+void
+splitLine(const std::string &line, std::string &op_name,
+          std::vector<std::string> &operands)
+{
+    size_t pos = 0;
+    while (pos < line.size() && std::isspace(line[pos]))
+        ++pos;
+    size_t start = pos;
+    while (pos < line.size() && !std::isspace(line[pos]))
+        ++pos;
+    op_name = line.substr(start, pos - start);
+
+    std::string rest = line.substr(pos);
+    std::string current;
+    for (char c : rest) {
+        if (c == ',') {
+            operands.push_back(current);
+            current.clear();
+        } else if (!std::isspace(c)) {
+            current += c;
+        }
+    }
+    if (!current.empty())
+        operands.push_back(current);
+}
+
+} // namespace
+
+Instruction
+parseInstruction(const std::string &line)
+{
+    std::string op_name;
+    std::vector<std::string> operand_strs;
+    splitLine(line, op_name, operand_strs);
+
+    OpcodeId opcode = theIsa().opcodeByName(op_name);
+    fatal_if(opcode == invalidOpcode, "unknown opcode '{}' in '{}'",
+             op_name, line);
+    const OpcodeInfo &op = theIsa().info(opcode);
+
+    std::vector<RegId> slots;
+    MemRef mem;
+    int64_t imm = 0;
+    bool saw_imm = false, saw_mem = false;
+
+    for (const std::string &operand : operand_strs) {
+        fatal_if(operand.empty(), "empty operand in '{}'", line);
+        if (operand[0] == '$') {
+            imm = std::strtoll(operand.c_str() + 1, nullptr, 10);
+            saw_imm = true;
+        } else if (operand[0] == '%') {
+            RegId reg = regFromName(operand.substr(1));
+            fatal_if(reg == invalidReg, "unknown register '{}' in '{}'",
+                     operand, line);
+            slots.push_back(reg);
+        } else {
+            // disp(%base)
+            char *end = nullptr;
+            long disp = std::strtol(operand.c_str(), &end, 10);
+            fatal_if(!end || *end != '(',
+                     "malformed memory operand '{}' in '{}'", operand,
+                     line);
+            std::string base_str(end + 1);
+            fatal_if(base_str.empty() || base_str[0] != '%' ||
+                     base_str.back() != ')',
+                     "malformed memory operand '{}' in '{}'", operand,
+                     line);
+            base_str = base_str.substr(1, base_str.size() - 2);
+            RegId base = regFromName(base_str);
+            fatal_if(base == invalidReg, "unknown base register in '{}'",
+                     operand);
+            mem.base = base;
+            mem.disp = static_cast<int32_t>(disp);
+            saw_mem = true;
+        }
+    }
+
+    fatal_if(slots.size() != op.numRegOps(),
+             "opcode {} takes {} register operands, got {} in '{}'",
+             op.name, op.numRegOps(), slots.size(), line);
+    fatal_if(op.hasImm && !saw_imm, "opcode {} requires an immediate",
+             op.name);
+    fatal_if(op.mem != MemMode::None && !op.stackOp && !saw_mem,
+             "opcode {} requires a memory operand", op.name);
+
+    return makeInstruction(opcode, slots, mem, imm);
+}
+
+BasicBlock
+parseBlock(const std::string &text)
+{
+    BasicBlock block;
+    std::istringstream stream(text);
+    std::string line;
+    while (std::getline(stream, line)) {
+        size_t first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        block.insts.push_back(parseInstruction(line));
+    }
+    return block;
+}
+
+} // namespace difftune::isa

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Parser for the library's canonical assembly syntax.
+ *
+ * The grammar is exactly what toString() prints: one instruction per
+ * line, `OPCODE operand, operand, ...`, with `%reg` register
+ * operands, `$imm` immediates and `disp(%base)` memory references.
+ * Lines that are empty or start with '#' are ignored.
+ */
+
+#ifndef DIFFTUNE_ISA_PARSE_HH
+#define DIFFTUNE_ISA_PARSE_HH
+
+#include <string>
+
+#include "isa/instruction.hh"
+
+namespace difftune::isa
+{
+
+/**
+ * Parse a single instruction.
+ * @throws std::runtime_error (via fatal()) on malformed input.
+ */
+Instruction parseInstruction(const std::string &line);
+
+/** Parse a multi-line block. */
+BasicBlock parseBlock(const std::string &text);
+
+} // namespace difftune::isa
+
+#endif // DIFFTUNE_ISA_PARSE_HH

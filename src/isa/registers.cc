@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Register-name tables.
+ */
+
+#include "isa/registers.hh"
+
+#include <array>
+
+#include "base/logging.hh"
+
+namespace difftune::isa
+{
+
+namespace
+{
+
+const std::array<const char *, numGprRegs> gpr64Names = {
+    "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp",
+    "r8",  "r9",  "r10", "r11", "r12", "r13", "r14", "r15",
+};
+
+const std::array<const char *, numGprRegs> gpr32Names = {
+    "eax",  "ebx",  "ecx",  "edx",  "esi",  "edi",  "ebp",  "esp",
+    "r8d",  "r9d",  "r10d", "r11d", "r12d", "r13d", "r14d", "r15d",
+};
+
+} // namespace
+
+RegClass
+regClass(RegId reg)
+{
+    if (isGpr(reg))
+        return RegClass::Gpr;
+    if (isVec(reg))
+        return RegClass::Vec;
+    panic_if(reg != flagsReg, "bad register id {}", int(reg));
+    return RegClass::Flags;
+}
+
+std::string
+regName(RegId reg, int width)
+{
+    if (isGpr(reg))
+        return width <= 32 ? gpr32Names[reg] : gpr64Names[reg];
+    if (isVec(reg)) {
+        const int idx = reg - firstVec;
+        return (width >= 256 ? "ymm" : "xmm") + std::to_string(idx);
+    }
+    if (reg == flagsReg)
+        return "flags";
+    return "reg?" + std::to_string(reg);
+}
+
+RegId
+regFromName(const std::string &name)
+{
+    for (RegId i = 0; i < numGprRegs; ++i) {
+        if (name == gpr64Names[i] || name == gpr32Names[i])
+            return i;
+    }
+    if (name.size() >= 4 &&
+        (name.compare(0, 3, "xmm") == 0 || name.compare(0, 3, "ymm") == 0)) {
+        int idx = std::atoi(name.c_str() + 3);
+        if (idx >= 0 && idx < numVecRegs)
+            return firstVec + static_cast<RegId>(idx);
+    }
+    if (name == "flags")
+        return flagsReg;
+    return invalidReg;
+}
+
+} // namespace difftune::isa

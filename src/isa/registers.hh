@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Architectural register description for the synthetic x86-like ISA.
+ *
+ * Registers are identified by a flat canonical id so that dependence
+ * tracking in the simulators is a simple array lookup. Sub-register
+ * aliasing (eax vs rax) is modeled by mapping every width of a logical
+ * register to the same canonical id, which matches how llvm-mca's
+ * register file resolves read-after-write dependences at the
+ * granularity this library needs.
+ */
+
+#ifndef DIFFTUNE_ISA_REGISTERS_HH
+#define DIFFTUNE_ISA_REGISTERS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace difftune::isa
+{
+
+/** Canonical register id; see the layout constants below. */
+using RegId = uint8_t;
+
+/** Number of general-purpose registers (rax..r15). */
+constexpr RegId numGprRegs = 16;
+/** Number of vector registers (xmm0..xmm15, aliased by ymm). */
+constexpr RegId numVecRegs = 16;
+
+/** Id of the first GPR. */
+constexpr RegId firstGpr = 0;
+/** Id of the first vector register. */
+constexpr RegId firstVec = numGprRegs;
+/** Canonical id of the flags register. */
+constexpr RegId flagsReg = numGprRegs + numVecRegs;
+/** Total number of canonical registers. */
+constexpr RegId numRegs = numGprRegs + numVecRegs + 1;
+/** Sentinel meaning "no register". */
+constexpr RegId invalidReg = 0xff;
+
+/** Canonical id of the stack pointer (rsp). */
+constexpr RegId stackPointer = 7;
+
+/** Register class of a canonical id. */
+enum class RegClass : uint8_t { Gpr, Vec, Flags };
+
+/** @return the class of register @p reg. */
+RegClass regClass(RegId reg);
+
+/** @return the AT&T-style name of @p reg at the given bit width. */
+std::string regName(RegId reg, int width = 64);
+
+/** @return the canonical id for a register name, or invalidReg. */
+RegId regFromName(const std::string &name);
+
+/** @return true if @p reg names a GPR. */
+inline bool
+isGpr(RegId reg)
+{
+    return reg < numGprRegs;
+}
+
+/** @return true if @p reg names a vector register. */
+inline bool
+isVec(RegId reg)
+{
+    return reg >= firstVec && reg < firstVec + numVecRegs;
+}
+
+} // namespace difftune::isa
+
+#endif // DIFFTUNE_ISA_REGISTERS_HH

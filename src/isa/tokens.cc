@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Token-vocabulary implementation.
+ */
+
+#include "isa/tokens.hh"
+
+namespace difftune::isa
+{
+
+TokenVocab::TokenVocab(const Isa &isa)
+    : numOpcodes_(isa.numOpcodes()),
+      markerBase_(TokenId(numOpcodes_ + numRegs)),
+      size_(numOpcodes_ + numRegs + 5)
+{
+}
+
+std::vector<TokenId>
+TokenVocab::encode(const Instruction &inst) const
+{
+    const OpcodeInfo &op = inst.info();
+    std::vector<TokenId> tokens;
+    tokens.reserve(inst.reads.size() + inst.writes.size() + 6);
+
+    tokens.push_back(opcodeToken(inst.opcode));
+    tokens.push_back(srcMarker());
+    if (op.hasImm)
+        tokens.push_back(constToken());
+    for (RegId reg : inst.reads)
+        tokens.push_back(regToken(reg));
+    if (op.mem == MemMode::Load || op.mem == MemMode::LoadStore)
+        tokens.push_back(memToken());
+    tokens.push_back(dstMarker());
+    for (RegId reg : inst.writes)
+        tokens.push_back(regToken(reg));
+    if (op.mem == MemMode::Store || op.mem == MemMode::LoadStore)
+        tokens.push_back(memToken());
+    tokens.push_back(endMarker());
+    return tokens;
+}
+
+std::vector<std::vector<TokenId>>
+TokenVocab::encode(const BasicBlock &block) const
+{
+    std::vector<std::vector<TokenId>> result;
+    result.reserve(block.size());
+    for (const auto &inst : block.insts)
+        result.push_back(encode(inst));
+    return result;
+}
+
+const TokenVocab &
+theVocab()
+{
+    static const TokenVocab vocab(theIsa());
+    return vocab;
+}
+
+} // namespace difftune::isa

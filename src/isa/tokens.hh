@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Token encoding of instructions for the neural surrogate.
+ *
+ * Follows Ithemal's canonicalization (Fig. 3 of the paper): each
+ * instruction becomes the token sequence
+ *
+ *     [opcode, <S>, source tokens..., <D>, destination tokens..., <E>]
+ *
+ * where register operands map to per-register tokens and memory /
+ * immediate operands map to the MEM / CONST tokens.
+ */
+
+#ifndef DIFFTUNE_ISA_TOKENS_HH
+#define DIFFTUNE_ISA_TOKENS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace difftune::isa
+{
+
+/** Token id in the surrogate vocabulary. */
+using TokenId = int32_t;
+
+/** Token vocabulary layout for a given Isa. */
+class TokenVocab
+{
+  public:
+    explicit TokenVocab(const Isa &isa);
+
+    /** @return the total vocabulary size. */
+    size_t size() const { return size_; }
+
+    /** @return the token for opcode @p op. */
+    TokenId opcodeToken(OpcodeId op) const { return TokenId(op); }
+
+    /** @return the token for register @p reg. */
+    TokenId
+    regToken(RegId reg) const
+    {
+        return TokenId(numOpcodes_) + TokenId(reg);
+    }
+
+    TokenId srcMarker() const { return markerBase_ + 0; } ///< <S>
+    TokenId dstMarker() const { return markerBase_ + 1; } ///< <D>
+    TokenId endMarker() const { return markerBase_ + 2; } ///< <E>
+    TokenId memToken() const { return markerBase_ + 3; }  ///< MEM
+    TokenId constToken() const { return markerBase_ + 4; } ///< CONST
+
+    /** Encode one instruction into its token sequence. */
+    std::vector<TokenId> encode(const Instruction &inst) const;
+
+    /** Encode a block: one token sequence per instruction. */
+    std::vector<std::vector<TokenId>>
+    encode(const BasicBlock &block) const;
+
+  private:
+    size_t numOpcodes_;
+    TokenId markerBase_;
+    size_t size_;
+};
+
+/** @return the shared vocabulary for theIsa(). */
+const TokenVocab &theVocab();
+
+} // namespace difftune::isa
+
+#endif // DIFFTUNE_ISA_TOKENS_HH

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * XMca implementation.
+ *
+ * The simulation walks the unrolled instruction stream once, in
+ * program order. Dispatch is tracked cycle-accurately (bandwidth and
+ * reorder-buffer occupancy); issue, execute and retire times are
+ * computed per instruction from dependence and port-availability
+ * state. Because resources are allocated in program order and all
+ * event times of older instructions are final when a younger
+ * instruction dispatches, a single pass is exact for this model.
+ */
+
+#include "mca/xmca.hh"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+
+#include "base/interval_schedule.hh"
+#include "base/logging.hh"
+
+namespace difftune::mca
+{
+
+namespace
+{
+
+/** Producer bookkeeping for one architectural register. */
+struct RegState
+{
+    int64_t issueCycle = -1; ///< issue cycle of the last writer
+    int writeLatency = 0;    ///< WriteLatency of the last writer
+};
+
+/** An in-flight reorder-buffer allocation. */
+struct RobEntry
+{
+    int64_t retireCycle;
+    int uops;
+};
+
+} // namespace
+
+double
+XMca::timing(const isa::BasicBlock &block,
+             const params::ParamTable &table) const
+{
+    Trace trace;
+    return timingWithTrace(block, table, trace);
+}
+
+double
+XMca::timingWithTrace(const isa::BasicBlock &block,
+                      const params::ParamTable &table, Trace &trace) const
+{
+    if (block.empty()) {
+        trace.totalCycles = 0;
+        return 0.0;
+    }
+
+    const int dispatch_width = table.dispatch();
+    const int rob_size = table.robSize();
+
+    std::array<RegState, isa::numRegs> regs{};
+    PortSchedule ports(params::numPorts);
+    std::vector<PortSchedule::Requirement> port_reqs;
+    std::deque<RobEntry> rob;
+    int rob_used = 0;
+
+    int64_t cycle = 0;          // current dispatch cycle
+    int bandwidth_left = dispatch_width;
+    int64_t last_retire = 0;    // in-order retire frontier
+    int64_t last_store_issue = -1; // store->store ordering
+    int64_t max_retire = 0;
+
+    trace.entries.clear();
+    trace.entries.reserve(block.size() * iterations_);
+
+    auto retireUpTo = [&](int64_t now) {
+        while (!rob.empty() && rob.front().retireCycle <= now) {
+            rob_used -= rob.front().uops;
+            rob.pop_front();
+        }
+    };
+
+    for (int iter = 0; iter < iterations_; ++iter) {
+        for (const auto &inst : block.insts) {
+            const auto &op = inst.info();
+            const int uops = table.uops(inst.opcode);
+            const int latency = table.latency(inst.opcode);
+
+            // ---- Dispatch: reserve ROB space, then stream uops
+            // through the dispatch stage at dispatch_width per cycle.
+            retireUpTo(cycle);
+            // An instruction wider than the whole ROB dispatches into
+            // an empty ROB (llvm-mca likewise never deadlocks here).
+            while (rob_used + uops > rob_size && !rob.empty()) {
+                int64_t next = rob.front().retireCycle;
+                cycle = std::max(cycle + 1, next);
+                bandwidth_left = dispatch_width;
+                retireUpTo(cycle);
+            }
+            rob_used += uops;
+
+            int remaining = uops;
+            while (remaining > 0) {
+                if (bandwidth_left == 0) {
+                    ++cycle;
+                    bandwidth_left = dispatch_width;
+                }
+                int take = std::min(remaining, bandwidth_left);
+                remaining -= take;
+                bandwidth_left -= take;
+            }
+            const int64_t dispatched = cycle;
+
+            // ---- Issue: wait for operands and for every port in the
+            // instruction's PortMap to be simultaneously free.
+            int64_t ready = dispatched;
+            for (size_t k = 0; k < inst.reads.size(); ++k) {
+                const auto &producer = regs[inst.reads[k]];
+                if (producer.issueCycle < 0)
+                    continue;
+                const int ra_idx =
+                    std::min<size_t>(k, params::numReadAdvance - 1);
+                const int advance =
+                    table.readAdvanceCycles(inst.opcode, ra_idx);
+                const int chain =
+                    std::max(0, producer.writeLatency - advance);
+                ready = std::max(ready, producer.issueCycle + chain);
+            }
+
+            port_reqs.clear();
+            int max_port_cycles = 0;
+            for (int p = 0; p < params::numPorts; ++p) {
+                const int occupancy = table.portCycles(inst.opcode, p);
+                if (occupancy > 0) {
+                    port_reqs.emplace_back(p, occupancy);
+                    max_port_cycles = std::max(max_port_cycles, occupancy);
+                }
+            }
+
+            // Load/store unit: stores may not issue out of program
+            // order with respect to older stores.
+            const bool is_store = op.mem == isa::MemMode::Store ||
+                                  op.mem == isa::MemMode::LoadStore;
+            if (is_store)
+                ready = std::max(ready, last_store_issue);
+
+            const int64_t issue = ports.acquireJoint(port_reqs, ready);
+            if (is_store)
+                last_store_issue = issue;
+            if ((iter & 0xf) == 0)
+                ports.prune(cycle);
+
+            // ---- Writeback: publish the new producer for each
+            // written register.
+            for (isa::RegId reg : inst.writes) {
+                regs[reg].issueCycle = issue;
+                regs[reg].writeLatency = latency;
+            }
+
+            // ---- Retire: in program order once execution completes.
+            const int64_t complete =
+                issue + std::max(latency, max_port_cycles);
+            last_retire = std::max(last_retire, complete);
+            const int64_t retired = last_retire;
+            rob.push_back({retired, uops});
+            max_retire = std::max(max_retire, retired);
+
+            trace.entries.push_back({dispatched, issue, retired});
+        }
+    }
+
+    trace.totalCycles = std::max<int64_t>(max_retire, 1);
+    return double(trace.totalCycles) / double(iterations_);
+}
+
+} // namespace difftune::mca

@@ -1,0 +1,643 @@
+/**
+ * @file
+ * Autograd implementation.
+ */
+
+#include "nn/graph.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace difftune::nn
+{
+
+// ---------------------------------------------------------------- ParamSet
+
+size_t
+ParamSet::scalarCount() const
+{
+    size_t total = 0;
+    for (const auto &p : params_)
+        total += p.size();
+    return total;
+}
+
+std::string
+ParamSet::save() const
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "difftune-nn v1 " << params_.size() << "\n";
+    for (const auto &p : params_) {
+        os << p.rows << ' ' << p.cols;
+        for (double v : p.data)
+            os << ' ' << v;
+        os << '\n';
+    }
+    return os.str();
+}
+
+void
+ParamSet::load(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string magic, version;
+    size_t count = 0;
+    is >> magic >> version >> count;
+    fatal_if(magic != "difftune-nn" || count != params_.size(),
+             "bad model file (|params| {} vs expected {})", count,
+             params_.size());
+    for (auto &p : params_) {
+        int rows = 0, cols = 0;
+        is >> rows >> cols;
+        fatal_if(rows != p.rows || cols != p.cols,
+                 "model file shape mismatch: {}x{} vs {}x{}", rows, cols,
+                 p.rows, p.cols);
+        for (double &v : p.data)
+            is >> v;
+    }
+    fatal_if(!is, "truncated model file");
+}
+
+// ------------------------------------------------------------------- Grads
+
+Grads::Grads(const ParamSet &params)
+{
+    grads_.reserve(params.count());
+    for (size_t i = 0; i < params.count(); ++i)
+        grads_.emplace_back(params[int(i)].rows, params[int(i)].cols);
+}
+
+void
+Grads::zero()
+{
+    for (auto &g : grads_)
+        g.zero();
+}
+
+void
+Grads::addFrom(const Grads &other)
+{
+    panic_if(grads_.size() != other.grads_.size(),
+             "grads size mismatch");
+    for (size_t i = 0; i < grads_.size(); ++i)
+        grads_[i].addInPlace(other.grads_[i]);
+}
+
+void
+Grads::scale(double factor)
+{
+    for (auto &g : grads_)
+        for (double &v : g.data)
+            v *= factor;
+}
+
+double
+Grads::l2Norm() const
+{
+    double total = 0.0;
+    for (const auto &g : grads_)
+        for (double v : g.data)
+            total += v * v;
+    return std::sqrt(total);
+}
+
+void
+Grads::clipL2(double max_norm)
+{
+    const double norm = l2Norm();
+    if (norm > max_norm && norm > 0.0)
+        scale(max_norm / norm);
+}
+
+// ------------------------------------------------------------------- Graph
+
+void
+Graph::clear()
+{
+    nodes_.clear();
+    paramCache_.clear();
+}
+
+namespace
+{
+
+uint64_t
+paramKey(const ParamSet &params, int index, int row)
+{
+    uint64_t key = reinterpret_cast<uint64_t>(&params);
+    key ^= uint64_t(index + 1) * 0x9e3779b97f4a7c15ULL;
+    key ^= uint64_t(row + 2) * 0xc2b2ae3d27d4eb4fULL;
+    return key;
+}
+
+} // namespace
+
+Var
+Graph::makeNode(Tensor value, bool requires_grad,
+                std::function<void(Graph &, Node &)> backward)
+{
+    Node node;
+    node.value = std::move(value);
+    node.requiresGrad = requires_grad;
+    node.backward = std::move(backward);
+    nodes_.push_back(std::move(node));
+    return Var{int32_t(nodes_.size()) - 1};
+}
+
+Tensor &
+Graph::gradRef(Var v)
+{
+    Node &n = node(v);
+    if (n.grad.size() == 0)
+        n.grad = Tensor(n.value.rows, n.value.cols);
+    return n.grad;
+}
+
+Var
+Graph::input(Tensor value)
+{
+    return makeNode(std::move(value), false, nullptr);
+}
+
+Var
+Graph::inputScalar(double value)
+{
+    Tensor t(1, 1);
+    t.data[0] = value;
+    return makeNode(std::move(t), false, nullptr);
+}
+
+Var
+Graph::param(const ParamSet &params, int index, Grads *sink)
+{
+    const uint64_t key = paramKey(params, index, -1);
+    for (const auto &[cached_key, var] : paramCache_)
+        if (cached_key == key)
+            return var;
+
+    Tensor value = params[index];
+    Var var;
+    if (!sink) {
+        var = makeNode(std::move(value), false, nullptr);
+    } else {
+        var = makeNode(std::move(value), true,
+                       [sink, index](Graph &, Node &self) {
+                           (*sink)[index].addInPlace(self.grad);
+                       });
+    }
+    paramCache_.emplace_back(key, var);
+    return var;
+}
+
+Var
+Graph::paramRow(const ParamSet &params, int index, int row, Grads *sink)
+{
+    const Tensor &table = params[index];
+    panic_if(row < 0 || row >= table.rows,
+             "paramRow: row {} out of {} rows", row, table.rows);
+    const uint64_t key = paramKey(params, index, row);
+    for (const auto &[cached_key, var] : paramCache_)
+        if (cached_key == key)
+            return var;
+
+    Tensor value(table.cols, 1);
+    for (int c = 0; c < table.cols; ++c)
+        value.data[c] = table.at(row, c);
+    Var var;
+    if (!sink) {
+        var = makeNode(std::move(value), false, nullptr);
+    } else {
+        var = makeNode(std::move(value), true,
+                       [sink, index, row](Graph &, Node &self) {
+                           Tensor &g = (*sink)[index];
+                           for (int c = 0; c < g.cols; ++c)
+                               g.at(row, c) += self.grad.data[c];
+                       });
+    }
+    paramCache_.emplace_back(key, var);
+    return var;
+}
+
+Var
+Graph::matmul(Var a, Var b)
+{
+    const Tensor &av = value(a);
+    const Tensor &bv = value(b);
+    panic_if(av.cols != bv.rows, "matmul: {}x{} * {}x{}", av.rows,
+             av.cols, bv.rows, bv.cols);
+    Tensor out(av.rows, bv.cols);
+    if (bv.cols == 1) {
+        // Fast matrix-vector path: every LSTM/linear op lands here.
+        const double *b_data = bv.data.data();
+        for (int i = 0; i < av.rows; ++i) {
+            const double *arow = av.row(i);
+            double sum = 0.0;
+            for (int k = 0; k < av.cols; ++k)
+                sum += arow[k] * b_data[k];
+            out.data[i] = sum;
+        }
+    } else {
+        for (int i = 0; i < av.rows; ++i) {
+            const double *arow = av.row(i);
+            double *orow = out.row(i);
+            for (int k = 0; k < av.cols; ++k) {
+                const double aik = arow[k];
+                const double *brow = bv.row(k);
+                for (int j = 0; j < bv.cols; ++j)
+                    orow[j] += aik * brow[j];
+            }
+        }
+    }
+    const bool needs = node(a).requiresGrad || node(b).requiresGrad;
+    return makeNode(std::move(out), needs,
+                    [a, b](Graph &g, Node &self) {
+                        const Tensor &av = g.value(a);
+                        const Tensor &bv = g.value(b);
+                        const Tensor &dc = self.grad;
+                        if (g.node(a).requiresGrad) {
+                            Tensor &da = g.gradRef(a);
+                            if (bv.cols == 1) {
+                                // dA += dc (col) outer b^T
+                                const double *b_data = bv.data.data();
+                                for (int i = 0; i < da.rows; ++i) {
+                                    const double dci = dc.data[i];
+                                    if (dci == 0.0)
+                                        continue;
+                                    double *darow = da.row(i);
+                                    for (int k = 0; k < da.cols; ++k)
+                                        darow[k] += dci * b_data[k];
+                                }
+                            } else {
+                                // dA += dC * B^T
+                                for (int i = 0; i < da.rows; ++i)
+                                    for (int k = 0; k < da.cols; ++k) {
+                                        double sum = 0.0;
+                                        for (int j = 0; j < bv.cols; ++j)
+                                            sum += dc.at(i, j) *
+                                                   bv.at(k, j);
+                                        da.at(i, k) += sum;
+                                    }
+                            }
+                        }
+                        if (g.node(b).requiresGrad) {
+                            Tensor &db = g.gradRef(b);
+                            if (bv.cols == 1) {
+                                // db += A^T * dc
+                                for (int i = 0; i < av.rows; ++i) {
+                                    const double dci = dc.data[i];
+                                    if (dci == 0.0)
+                                        continue;
+                                    const double *arow = av.row(i);
+                                    for (int k = 0; k < db.rows; ++k)
+                                        db.data[k] += arow[k] * dci;
+                                }
+                            } else {
+                                // dB += A^T * dC
+                                for (int k = 0; k < db.rows; ++k)
+                                    for (int j = 0; j < db.cols; ++j) {
+                                        double sum = 0.0;
+                                        for (int i = 0; i < av.rows; ++i)
+                                            sum += av.at(i, k) *
+                                                   dc.at(i, j);
+                                        db.at(k, j) += sum;
+                                    }
+                            }
+                        }
+                    });
+}
+
+namespace
+{
+
+void
+checkSameShape(const Tensor &a, const Tensor &b, const char *op)
+{
+    panic_if(a.rows != b.rows || a.cols != b.cols,
+             "{}: shape mismatch {}x{} vs {}x{}", op, a.rows, a.cols,
+             b.rows, b.cols);
+}
+
+} // namespace
+
+Var
+Graph::add(Var a, Var b)
+{
+    const Tensor &av = value(a);
+    const Tensor &bv = value(b);
+    checkSameShape(av, bv, "add");
+    Tensor out = av;
+    out.addInPlace(bv);
+    const bool needs = node(a).requiresGrad || node(b).requiresGrad;
+    return makeNode(std::move(out), needs, [a, b](Graph &g, Node &self) {
+        if (g.node(a).requiresGrad)
+            g.gradRef(a).addInPlace(self.grad);
+        if (g.node(b).requiresGrad)
+            g.gradRef(b).addInPlace(self.grad);
+    });
+}
+
+Var
+Graph::sub(Var a, Var b)
+{
+    const Tensor &av = value(a);
+    const Tensor &bv = value(b);
+    checkSameShape(av, bv, "sub");
+    Tensor out = av;
+    for (size_t i = 0; i < out.data.size(); ++i)
+        out.data[i] -= bv.data[i];
+    const bool needs = node(a).requiresGrad || node(b).requiresGrad;
+    return makeNode(std::move(out), needs, [a, b](Graph &g, Node &self) {
+        if (g.node(a).requiresGrad)
+            g.gradRef(a).addInPlace(self.grad);
+        if (g.node(b).requiresGrad) {
+            Tensor &db = g.gradRef(b);
+            for (size_t i = 0; i < db.data.size(); ++i)
+                db.data[i] -= self.grad.data[i];
+        }
+    });
+}
+
+Var
+Graph::mul(Var a, Var b)
+{
+    const Tensor &av = value(a);
+    const Tensor &bv = value(b);
+    checkSameShape(av, bv, "mul");
+    Tensor out = av;
+    for (size_t i = 0; i < out.data.size(); ++i)
+        out.data[i] *= bv.data[i];
+    const bool needs = node(a).requiresGrad || node(b).requiresGrad;
+    return makeNode(std::move(out), needs, [a, b](Graph &g, Node &self) {
+        const Tensor &av = g.value(a);
+        const Tensor &bv = g.value(b);
+        if (g.node(a).requiresGrad) {
+            Tensor &da = g.gradRef(a);
+            for (size_t i = 0; i < da.data.size(); ++i)
+                da.data[i] += self.grad.data[i] * bv.data[i];
+        }
+        if (g.node(b).requiresGrad) {
+            Tensor &db = g.gradRef(b);
+            for (size_t i = 0; i < db.data.size(); ++i)
+                db.data[i] += self.grad.data[i] * av.data[i];
+        }
+    });
+}
+
+Var
+Graph::scale(Var a, double c)
+{
+    Tensor out = value(a);
+    for (double &v : out.data)
+        v *= c;
+    return makeNode(std::move(out), node(a).requiresGrad,
+                    [a, c](Graph &g, Node &self) {
+                        if (!g.node(a).requiresGrad)
+                            return;
+                        Tensor &da = g.gradRef(a);
+                        for (size_t i = 0; i < da.data.size(); ++i)
+                            da.data[i] += self.grad.data[i] * c;
+                    });
+}
+
+Var
+Graph::scaleByVec(Var a, std::vector<double> factors)
+{
+    const Tensor &av = value(a);
+    panic_if(factors.size() != av.data.size(),
+             "scaleByVec: {} factors for {} elements", factors.size(),
+             av.data.size());
+    Tensor out = av;
+    for (size_t i = 0; i < out.data.size(); ++i)
+        out.data[i] *= factors[i];
+    return makeNode(std::move(out), node(a).requiresGrad,
+                    [a, factors = std::move(factors)](Graph &g,
+                                                      Node &self) {
+                        if (!g.node(a).requiresGrad)
+                            return;
+                        Tensor &da = g.gradRef(a);
+                        for (size_t i = 0; i < da.data.size(); ++i)
+                            da.data[i] += self.grad.data[i] * factors[i];
+                    });
+}
+
+Var
+Graph::sigmoid(Var a)
+{
+    Tensor out = value(a);
+    for (double &v : out.data)
+        v = 1.0 / (1.0 + std::exp(-v));
+    return makeNode(std::move(out), node(a).requiresGrad,
+                    [a](Graph &g, Node &self) {
+                        if (!g.node(a).requiresGrad)
+                            return;
+                        Tensor &da = g.gradRef(a);
+                        for (size_t i = 0; i < da.data.size(); ++i) {
+                            const double y = self.value.data[i];
+                            da.data[i] +=
+                                self.grad.data[i] * y * (1.0 - y);
+                        }
+                    });
+}
+
+Var
+Graph::tanh(Var a)
+{
+    Tensor out = value(a);
+    for (double &v : out.data)
+        v = std::tanh(v);
+    return makeNode(std::move(out), node(a).requiresGrad,
+                    [a](Graph &g, Node &self) {
+                        if (!g.node(a).requiresGrad)
+                            return;
+                        Tensor &da = g.gradRef(a);
+                        for (size_t i = 0; i < da.data.size(); ++i) {
+                            const double y = self.value.data[i];
+                            da.data[i] +=
+                                self.grad.data[i] * (1.0 - y * y);
+                        }
+                    });
+}
+
+Var
+Graph::relu(Var a)
+{
+    Tensor out = value(a);
+    for (double &v : out.data)
+        v = v > 0.0 ? v : 0.0;
+    return makeNode(std::move(out), node(a).requiresGrad,
+                    [a](Graph &g, Node &self) {
+                        if (!g.node(a).requiresGrad)
+                            return;
+                        const Tensor &av = g.value(a);
+                        Tensor &da = g.gradRef(a);
+                        for (size_t i = 0; i < da.data.size(); ++i)
+                            if (av.data[i] > 0.0)
+                                da.data[i] += self.grad.data[i];
+                    });
+}
+
+Var
+Graph::abs(Var a)
+{
+    Tensor out = value(a);
+    for (double &v : out.data)
+        v = std::fabs(v);
+    return makeNode(std::move(out), node(a).requiresGrad,
+                    [a](Graph &g, Node &self) {
+                        if (!g.node(a).requiresGrad)
+                            return;
+                        const Tensor &av = g.value(a);
+                        Tensor &da = g.gradRef(a);
+                        for (size_t i = 0; i < da.data.size(); ++i) {
+                            const double sign =
+                                av.data[i] >= 0.0 ? 1.0 : -1.0;
+                            da.data[i] += self.grad.data[i] * sign;
+                        }
+                    });
+}
+
+Var
+Graph::exp(Var a)
+{
+    Tensor out = value(a);
+    for (double &v : out.data)
+        v = std::exp(std::min(v, 30.0));
+    return makeNode(std::move(out), node(a).requiresGrad,
+                    [a](Graph &g, Node &self) {
+                        if (!g.node(a).requiresGrad)
+                            return;
+                        const Tensor &av = g.value(a);
+                        Tensor &da = g.gradRef(a);
+                        for (size_t i = 0; i < da.data.size(); ++i) {
+                            if (av.data[i] >= 30.0)
+                                continue; // clamped region: zero grad
+                            da.data[i] += self.grad.data[i] *
+                                          self.value.data[i];
+                        }
+                    });
+}
+
+Var
+Graph::slice(Var a, int row0, int nrows)
+{
+    const Tensor &av = value(a);
+    panic_if(av.cols != 1, "slice expects a column vector");
+    panic_if(row0 < 0 || row0 + nrows > av.rows,
+             "slice [{}:{}) out of {} rows", row0, row0 + nrows,
+             av.rows);
+    Tensor out(nrows, 1);
+    for (int r = 0; r < nrows; ++r)
+        out.data[r] = av.data[row0 + r];
+    return makeNode(std::move(out), node(a).requiresGrad,
+                    [a, row0](Graph &g, Node &self) {
+                        if (!g.node(a).requiresGrad)
+                            return;
+                        Tensor &da = g.gradRef(a);
+                        for (int r = 0; r < self.value.rows; ++r)
+                            da.data[row0 + r] += self.grad.data[r];
+                    });
+}
+
+Var
+Graph::concat(const std::vector<Var> &parts)
+{
+    int total = 0;
+    bool needs = false;
+    for (Var part : parts) {
+        panic_if(value(part).cols != 1, "concat expects column vectors");
+        total += value(part).rows;
+        needs = needs || node(part).requiresGrad;
+    }
+    Tensor out(total, 1);
+    int offset = 0;
+    for (Var part : parts) {
+        const Tensor &pv = value(part);
+        for (int r = 0; r < pv.rows; ++r)
+            out.data[offset + r] = pv.data[r];
+        offset += pv.rows;
+    }
+    return makeNode(std::move(out), needs,
+                    [parts](Graph &g, Node &self) {
+                        int offset = 0;
+                        for (Var part : parts) {
+                            const int n = g.value(part).rows;
+                            if (g.node(part).requiresGrad) {
+                                Tensor &dp = g.gradRef(part);
+                                for (int r = 0; r < n; ++r)
+                                    dp.data[r] +=
+                                        self.grad.data[offset + r];
+                            }
+                            offset += n;
+                        }
+                    });
+}
+
+Var
+Graph::lossMape(Var pred, double target, double floor)
+{
+    const double denom = std::max(target, floor);
+    panic_if(value(pred).size() != 1, "lossMape expects a scalar");
+    const double p = scalarValue(pred);
+    Tensor out(1, 1);
+    out.data[0] = std::fabs(p - target) / denom;
+    return makeNode(std::move(out), node(pred).requiresGrad,
+                    [pred, target, denom](Graph &g, Node &self) {
+                        if (!g.node(pred).requiresGrad)
+                            return;
+                        const double p = g.scalarValue(pred);
+                        const double sign = p >= target ? 1.0 : -1.0;
+                        g.gradRef(pred).data[0] +=
+                            self.grad.data[0] * sign / denom;
+                    });
+}
+
+Var
+Graph::lossMae(Var pred, double target)
+{
+    panic_if(value(pred).size() != 1, "lossMae expects a scalar");
+    const double p = scalarValue(pred);
+    Tensor out(1, 1);
+    out.data[0] = std::fabs(p - target);
+    return makeNode(std::move(out), node(pred).requiresGrad,
+                    [pred, target](Graph &g, Node &self) {
+                        if (!g.node(pred).requiresGrad)
+                            return;
+                        const double p = g.scalarValue(pred);
+                        const double sign = p >= target ? 1.0 : -1.0;
+                        g.gradRef(pred).data[0] +=
+                            self.grad.data[0] * sign;
+                    });
+}
+
+Var
+Graph::lossMse(Var pred, double target)
+{
+    panic_if(value(pred).size() != 1, "lossMse expects a scalar");
+    const double p = scalarValue(pred);
+    Tensor out(1, 1);
+    out.data[0] = (p - target) * (p - target);
+    return makeNode(std::move(out), node(pred).requiresGrad,
+                    [pred, target](Graph &g, Node &self) {
+                        if (!g.node(pred).requiresGrad)
+                            return;
+                        const double p = g.scalarValue(pred);
+                        g.gradRef(pred).data[0] +=
+                            self.grad.data[0] * 2.0 * (p - target);
+                    });
+}
+
+void
+Graph::backward(Var loss, double seed)
+{
+    panic_if(value(loss).size() != 1, "backward expects a scalar loss");
+    gradRef(loss).data[0] = seed;
+    for (int32_t i = loss.id; i >= 0; --i) {
+        Node &n = nodes_[i];
+        if (!n.requiresGrad || !n.backward || n.grad.size() == 0)
+            continue;
+        n.backward(*this, n);
+    }
+}
+
+} // namespace difftune::nn

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tape-based reverse-mode automatic differentiation.
+ *
+ * A Graph is a single-use tape: forward ops append nodes, backward()
+ * walks the tape in reverse. Model weights live outside the graph in
+ * ParamSets; gradients are accumulated into a Grads buffer aligned
+ * with the ParamSet, which makes data-parallel training a matter of
+ * giving each thread its own Graph + Grads and summing afterwards.
+ *
+ * Two ParamSets can feed one graph — e.g. the frozen surrogate
+ * weights (no gradient accumulation, but gradients still flow
+ * *through* them) and the trainable parameter table (DiffTune's
+ * phase 4).
+ */
+
+#ifndef DIFFTUNE_NN_GRAPH_HH
+#define DIFFTUNE_NN_GRAPH_HH
+
+#include <functional>
+#include <vector>
+
+#include "nn/tensor.hh"
+
+namespace difftune::nn
+{
+
+/** A set of persistent parameters (model weights). */
+class ParamSet
+{
+  public:
+    /** Register a parameter; returns its index. */
+    int
+    add(int rows, int cols)
+    {
+        params_.emplace_back(rows, cols);
+        return int(params_.size()) - 1;
+    }
+
+    Tensor &operator[](int i) { return params_[size_t(i)]; }
+    const Tensor &operator[](int i) const { return params_[size_t(i)]; }
+
+    size_t count() const { return params_.size(); }
+
+    /** Total scalar parameter count. */
+    size_t scalarCount() const;
+
+    /** Serialize all tensors (text, round-trips with load()). */
+    std::string save() const;
+    /** Load values saved by save(); shapes must match. */
+    void load(const std::string &text);
+
+  private:
+    std::vector<Tensor> params_;
+};
+
+/** Per-parameter gradient buffers aligned with a ParamSet. */
+class Grads
+{
+  public:
+    explicit Grads(const ParamSet &params);
+
+    Tensor &operator[](int i) { return grads_[size_t(i)]; }
+    const Tensor &operator[](int i) const { return grads_[size_t(i)]; }
+
+    size_t count() const { return grads_.size(); }
+
+    void zero();
+
+    /** this += other (elementwise over every tensor). */
+    void addFrom(const Grads &other);
+
+    /** Multiply every gradient by @p factor. */
+    void scale(double factor);
+
+    /** Global L2 norm across all gradients. */
+    double l2Norm() const;
+
+    /** Scale down so the global L2 norm is at most @p max_norm. */
+    void clipL2(double max_norm);
+
+  private:
+    std::vector<Tensor> grads_;
+};
+
+/** Handle to a node in a Graph's tape. */
+struct Var
+{
+    int32_t id = -1;
+
+    bool valid() const { return id >= 0; }
+};
+
+/** Single-use reverse-mode tape. */
+class Graph
+{
+  public:
+    Graph() = default;
+
+    /** Reset the tape for reuse (keeps capacity). */
+    void clear();
+
+    /**
+     * Number of distinct parameter leaves materialized (parameter
+     * nodes are cached per graph, so repeated uses of one weight —
+     * e.g. an LSTM cell stepped over a sequence — share one node and
+     * one value copy).
+     */
+    size_t numCachedParams() const { return paramCache_.size(); }
+
+    // ---- Leaves
+
+    /** Constant input (no gradient). */
+    Var input(Tensor value);
+
+    /** Constant scalar column-vector input of size 1. */
+    Var inputScalar(double value);
+
+    /**
+     * Parameter leaf. If @p sink is non-null, backward() accumulates
+     * the parameter's gradient into (*sink)[index]; a null sink means
+     * the parameter is frozen (gradients still flow through uses).
+     */
+    Var param(const ParamSet &params, int index, Grads *sink);
+
+    /**
+     * One row of a parameter as a column vector (embedding lookup /
+     * parameter-table gather).
+     */
+    Var paramRow(const ParamSet &params, int index, int row,
+                 Grads *sink);
+
+    // ---- Ops (all shapes are checked)
+
+    Var matmul(Var a, Var b);       ///< (m x k) * (k x n)
+    Var add(Var a, Var b);          ///< elementwise
+    Var sub(Var a, Var b);          ///< elementwise
+    Var mul(Var a, Var b);          ///< elementwise (Hadamard)
+    Var scale(Var a, double c);     ///< a * c
+    Var scaleByVec(Var a, std::vector<double> factors); ///< per-element
+    Var sigmoid(Var a);
+    Var tanh(Var a);
+    Var relu(Var a);
+    Var abs(Var a);
+    Var exp(Var a); ///< elementwise e^x (clamped at x = 30 for safety)
+    Var slice(Var a, int row0, int nrows); ///< rows of a column vector
+    Var concat(const std::vector<Var> &parts); ///< stack column vectors
+
+    // ---- Losses (scalar outputs; target is a constant)
+
+    /** |pred - target| / max(target, floor): the paper's MAPE term. */
+    Var lossMape(Var pred, double target, double floor = 1e-3);
+    /** |pred - target|. */
+    Var lossMae(Var pred, double target);
+    /** (pred - target)^2. */
+    Var lossMse(Var pred, double target);
+
+    // ---- Access
+
+    const Tensor &value(Var v) const { return nodes_[v.id].value; }
+    const Tensor &grad(Var v) const { return nodes_[v.id].grad; }
+
+    /** Scalar value of a 1x1 node. */
+    double scalarValue(Var v) const { return value(v).data[0]; }
+
+    /**
+     * Reverse pass from @p loss (must be 1x1). Seeds d(loss)/d(loss)
+     * = @p seed and accumulates into parameter sinks.
+     */
+    void backward(Var loss, double seed = 1.0);
+
+    size_t numNodes() const { return nodes_.size(); }
+
+  private:
+    struct Node
+    {
+        Tensor value;
+        Tensor grad;
+        bool requiresGrad = false;
+        /** Reverse-propagate this node's grad to its inputs. */
+        std::function<void(Graph &, Node &)> backward;
+    };
+
+    Node &node(Var v) { return nodes_[v.id]; }
+
+    Var makeNode(Tensor value, bool requires_grad,
+                 std::function<void(Graph &, Node &)> backward);
+
+    /** Ensure the grad tensor of @p v is allocated. */
+    Tensor &gradRef(Var v);
+
+    std::vector<Node> nodes_;
+    /** (param-set address ^ index ^ row) -> node cache. */
+    std::vector<std::pair<uint64_t, Var>> paramCache_;
+
+    friend struct GraphTestPeer;
+};
+
+} // namespace difftune::nn
+
+#endif // DIFFTUNE_NN_GRAPH_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Module implementations.
+ */
+
+#include "nn/modules.hh"
+
+#include <cmath>
+
+namespace difftune::nn
+{
+
+namespace
+{
+
+/** Uniform(-1/sqrt(fan_in), +1/sqrt(fan_in)) initialization. */
+void
+initTensor(Tensor &tensor, Rng &rng, int fan_in)
+{
+    tensor.uniformInit(rng, 1.0 / std::sqrt(double(fan_in ? fan_in : 1)));
+}
+
+} // namespace
+
+// --------------------------------------------------------------- Embedding
+
+Embedding::Embedding(ParamSet &params, int vocab, int dim, Rng &rng)
+    : table_(params.add(vocab, dim)), dim_(dim)
+{
+    initTensor(params[table_], rng, dim);
+}
+
+Var
+Embedding::forward(Ctx &ctx, int token) const
+{
+    return ctx.graph.paramRow(ctx.params, table_, token, ctx.sink);
+}
+
+// ------------------------------------------------------------------ Linear
+
+Linear::Linear(ParamSet &params, int in, int out, Rng &rng)
+    : weight_(params.add(out, in)), bias_(params.add(out, 1)), out_(out)
+{
+    initTensor(params[weight_], rng, in);
+    initTensor(params[bias_], rng, in);
+}
+
+Var
+Linear::forward(Ctx &ctx, Var x) const
+{
+    Graph &g = ctx.graph;
+    Var w = g.param(ctx.params, weight_, ctx.sink);
+    Var b = g.param(ctx.params, bias_, ctx.sink);
+    return g.add(g.matmul(w, x), b);
+}
+
+// ---------------------------------------------------------------- LstmCell
+
+LstmCell::LstmCell(ParamSet &params, int in, int hidden, Rng &rng)
+    : wx_(params.add(4 * hidden, in)), wh_(params.add(4 * hidden, hidden)),
+      bias_(params.add(4 * hidden, 1)), hidden_(hidden)
+{
+    initTensor(params[wx_], rng, in);
+    initTensor(params[wh_], rng, hidden);
+    // Forget-gate bias starts at 1 (standard trick for gradient flow).
+    Tensor &b = params[bias_];
+    initTensor(b, rng, hidden);
+    for (int i = hidden; i < 2 * hidden; ++i)
+        b.data[i] = 1.0;
+}
+
+LstmCell::State
+LstmCell::initial(Ctx &ctx) const
+{
+    Var zero_h = ctx.graph.input(Tensor(hidden_, 1));
+    Var zero_c = ctx.graph.input(Tensor(hidden_, 1));
+    return {zero_h, zero_c};
+}
+
+LstmCell::State
+LstmCell::step(Ctx &ctx, Var x, const State &state) const
+{
+    Graph &g = ctx.graph;
+    Var wx = g.param(ctx.params, wx_, ctx.sink);
+    Var wh = g.param(ctx.params, wh_, ctx.sink);
+    Var b = g.param(ctx.params, bias_, ctx.sink);
+
+    Var gates = g.add(g.add(g.matmul(wx, x), g.matmul(wh, state.h)), b);
+    Var in_gate = g.sigmoid(g.slice(gates, 0, hidden_));
+    Var forget_gate = g.sigmoid(g.slice(gates, hidden_, hidden_));
+    Var cell_in = g.tanh(g.slice(gates, 2 * hidden_, hidden_));
+    Var out_gate = g.sigmoid(g.slice(gates, 3 * hidden_, hidden_));
+
+    Var c = g.add(g.mul(forget_gate, state.c), g.mul(in_gate, cell_in));
+    Var h = g.mul(out_gate, g.tanh(c));
+    return {h, c};
+}
+
+// --------------------------------------------------------------- LstmStack
+
+LstmStack::LstmStack(ParamSet &params, int in, int hidden, int layers,
+                     Rng &rng)
+    : hidden_(hidden)
+{
+    panic_if(layers < 1, "LstmStack needs at least one layer");
+    cells_.reserve(layers);
+    for (int layer = 0; layer < layers; ++layer)
+        cells_.emplace_back(params, layer == 0 ? in : hidden, hidden,
+                            rng);
+}
+
+Var
+LstmStack::runSequence(Ctx &ctx, const std::vector<Var> &sequence) const
+{
+    panic_if(sequence.empty(), "LstmStack: empty sequence");
+    std::vector<LstmCell::State> states;
+    states.reserve(cells_.size());
+    for (const auto &cell : cells_)
+        states.push_back(cell.initial(ctx));
+
+    for (Var x : sequence) {
+        Var layer_in = x;
+        for (size_t layer = 0; layer < cells_.size(); ++layer) {
+            states[layer] = cells_[layer].step(ctx, layer_in,
+                                               states[layer]);
+            layer_in = states[layer].h;
+        }
+    }
+    return states.back().h;
+}
+
+} // namespace difftune::nn

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Neural-network building blocks: embedding tables, linear layers and
+ * stacked LSTMs — the components of the Ithemal architecture
+ * (Figure 3 of the paper).
+ *
+ * Modules register their weights in a caller-provided ParamSet at
+ * construction and are stateless afterwards: forward() takes the
+ * Graph, the ParamSet and an optional gradient sink, so the same
+ * module description can run on many threads concurrently.
+ */
+
+#ifndef DIFFTUNE_NN_MODULES_HH
+#define DIFFTUNE_NN_MODULES_HH
+
+#include <vector>
+
+#include "nn/graph.hh"
+
+namespace difftune::nn
+{
+
+/** Context threaded through module forward passes. */
+struct Ctx
+{
+    Graph &graph;
+    const ParamSet &params;
+    Grads *sink = nullptr; ///< null: frozen (inference / phase 4)
+};
+
+/** Token-embedding lookup table. */
+class Embedding
+{
+  public:
+    Embedding(ParamSet &params, int vocab, int dim, Rng &rng);
+
+    /** @return the embedding of @p token as a (dim x 1) vector. */
+    Var forward(Ctx &ctx, int token) const;
+
+    int dim() const { return dim_; }
+
+  private:
+    int table_;
+    int dim_;
+};
+
+/** Fully connected layer y = W x + b. */
+class Linear
+{
+  public:
+    Linear(ParamSet &params, int in, int out, Rng &rng);
+
+    Var forward(Ctx &ctx, Var x) const;
+
+    int outDim() const { return out_; }
+
+  private:
+    int weight_;
+    int bias_;
+    int out_;
+};
+
+/** One LSTM layer (Hochreiter & Schmidhuber). */
+class LstmCell
+{
+  public:
+    LstmCell(ParamSet &params, int in, int hidden, Rng &rng);
+
+    /** Hidden and cell state pair. */
+    struct State
+    {
+        Var h;
+        Var c;
+    };
+
+    /** Zero initial state. */
+    State initial(Ctx &ctx) const;
+
+    /** One timestep; returns the new state. */
+    State step(Ctx &ctx, Var x, const State &state) const;
+
+    int hiddenDim() const { return hidden_; }
+
+  private:
+    int wx_;     ///< (4H x in)
+    int wh_;     ///< (4H x H)
+    int bias_;   ///< (4H x 1)
+    int hidden_;
+};
+
+/**
+ * A stack of LSTM layers (the paper stacks 4). The input sequence
+ * feeds layer 0; each layer's hidden sequence feeds the next.
+ */
+class LstmStack
+{
+  public:
+    LstmStack(ParamSet &params, int in, int hidden, int layers,
+              Rng &rng);
+
+    /**
+     * Run the stack over @p sequence and return the final hidden
+     * state of the top layer.
+     */
+    Var runSequence(Ctx &ctx, const std::vector<Var> &sequence) const;
+
+    int hiddenDim() const { return hidden_; }
+    int numLayers() const { return int(cells_.size()); }
+
+  private:
+    std::vector<LstmCell> cells_;
+    int hidden_;
+};
+
+} // namespace difftune::nn
+
+#endif // DIFFTUNE_NN_MODULES_HH

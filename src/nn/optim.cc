@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Optimizer implementations.
+ */
+
+#include "nn/optim.hh"
+
+#include <cmath>
+
+namespace difftune::nn
+{
+
+void
+Sgd::step(ParamSet &params, const Grads &grads)
+{
+    for (size_t i = 0; i < params.count(); ++i) {
+        Tensor &p = params[int(i)];
+        const Tensor &g = grads[int(i)];
+        for (size_t j = 0; j < p.data.size(); ++j)
+            p.data[j] -= lr_ * g.data[j];
+    }
+}
+
+void
+Adam::step(ParamSet &params, const Grads &grads)
+{
+    if (m_.empty()) {
+        for (size_t i = 0; i < params.count(); ++i) {
+            m_.emplace_back(params[int(i)].rows, params[int(i)].cols);
+            v_.emplace_back(params[int(i)].rows, params[int(i)].cols);
+        }
+    }
+    ++steps_;
+    const double bc1 = 1.0 - std::pow(beta1_, double(steps_));
+    const double bc2 = 1.0 - std::pow(beta2_, double(steps_));
+    for (size_t i = 0; i < params.count(); ++i) {
+        Tensor &p = params[int(i)];
+        const Tensor &g = grads[int(i)];
+        Tensor &m = m_[i];
+        Tensor &v = v_[i];
+        for (size_t j = 0; j < p.data.size(); ++j) {
+            const double grad = g.data[j];
+            m.data[j] = beta1_ * m.data[j] + (1.0 - beta1_) * grad;
+            v.data[j] = beta2_ * v.data[j] + (1.0 - beta2_) * grad * grad;
+            const double mhat = m.data[j] / bc1;
+            const double vhat = v.data[j] / bc2;
+            p.data[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+        }
+    }
+}
+
+} // namespace difftune::nn

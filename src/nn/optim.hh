@@ -1,0 +1,64 @@
+/**
+ * @file
+ * First-order stochastic optimizers: SGD (Robbins & Monro) and Adam
+ * (Kingma & Ba) — the paper trains both the surrogate and the
+ * parameter table with Adam.
+ */
+
+#ifndef DIFFTUNE_NN_OPTIM_HH
+#define DIFFTUNE_NN_OPTIM_HH
+
+#include "nn/graph.hh"
+
+namespace difftune::nn
+{
+
+/** Optimizer interface over a ParamSet + averaged Grads. */
+class Optimizer
+{
+  public:
+    virtual ~Optimizer() = default;
+
+    /** Apply one update using @p grads; does not zero the grads. */
+    virtual void step(ParamSet &params, const Grads &grads) = 0;
+};
+
+/** Plain stochastic gradient descent. */
+class Sgd : public Optimizer
+{
+  public:
+    explicit Sgd(double lr) : lr_(lr) {}
+
+    void step(ParamSet &params, const Grads &grads) override;
+
+  private:
+    double lr_;
+};
+
+/** Adam with bias correction. */
+class Adam : public Optimizer
+{
+  public:
+    explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                  double eps = 1e-8)
+        : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps)
+    {
+    }
+
+    void step(ParamSet &params, const Grads &grads) override;
+
+    long stepCount() const { return steps_; }
+
+    /** Adjust the learning rate (for decay schedules). */
+    void setLr(double lr) { lr_ = lr; }
+    double lr() const { return lr_; }
+
+  private:
+    double lr_, beta1_, beta2_, eps_;
+    long steps_ = 0;
+    std::vector<Tensor> m_, v_;
+};
+
+} // namespace difftune::nn
+
+#endif // DIFFTUNE_NN_OPTIM_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Dense row-major matrix type used by the autograd engine.
+ *
+ * Everything in the surrogate is a column vector or a small matrix,
+ * so a minimal (rows x cols, double) type suffices. Doubles keep the
+ * numerical-gradient tests tight; the model widths this library uses
+ * train in seconds on a multicore CPU regardless.
+ */
+
+#ifndef DIFFTUNE_NN_TENSOR_HH
+#define DIFFTUNE_NN_TENSOR_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace difftune::nn
+{
+
+/** A dense row-major matrix. A column vector is (n, 1). */
+struct Tensor
+{
+    int rows = 0;
+    int cols = 0;
+    std::vector<double> data;
+
+    Tensor() = default;
+
+    Tensor(int r, int c) : rows(r), cols(c), data(size_t(r) * c, 0.0) {}
+
+    size_t size() const { return data.size(); }
+
+    double &
+    at(int r, int c)
+    {
+        return data[size_t(r) * cols + c];
+    }
+
+    double
+    at(int r, int c) const
+    {
+        return data[size_t(r) * cols + c];
+    }
+
+    /** Pointer to row @p r. */
+    double *row(int r) { return data.data() + size_t(r) * cols; }
+    const double *
+    row(int r) const
+    {
+        return data.data() + size_t(r) * cols;
+    }
+
+    void
+    zero()
+    {
+        std::fill(data.begin(), data.end(), 0.0);
+    }
+
+    /** Fill with uniform values in [-scale, scale]. */
+    void
+    uniformInit(Rng &rng, double scale)
+    {
+        for (double &v : data)
+            v = rng.uniformReal(-scale, scale);
+    }
+
+    /** this += other (shapes must match). */
+    void
+    addInPlace(const Tensor &other)
+    {
+        panic_if(rows != other.rows || cols != other.cols,
+                 "tensor shape mismatch {}x{} += {}x{}", rows, cols,
+                 other.rows, other.cols);
+        for (size_t i = 0; i < data.size(); ++i)
+            data[i] += other.data[i];
+    }
+};
+
+} // namespace difftune::nn
+
+#endif // DIFFTUNE_NN_TENSOR_HH

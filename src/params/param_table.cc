@@ -1,0 +1,259 @@
+/**
+ * @file
+ * ParamTable implementation.
+ */
+
+#include "params/param_table.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace difftune::params
+{
+
+namespace
+{
+
+int
+clampInt(double value, int lower)
+{
+    int rounded = static_cast<int>(std::lround(value));
+    return rounded < lower ? lower : rounded;
+}
+
+} // namespace
+
+std::vector<double>
+ParamTable::flatten() const
+{
+    std::vector<double> flat;
+    flat.reserve(flatSize());
+    flat.push_back(dispatchWidth);
+    flat.push_back(reorderBufferSize);
+    for (const auto &inst : perOpcode) {
+        flat.push_back(inst.numMicroOps);
+        flat.push_back(inst.writeLatency);
+        for (double ra : inst.readAdvance)
+            flat.push_back(ra);
+        for (double pc : inst.portMap)
+            flat.push_back(pc);
+    }
+    return flat;
+}
+
+ParamTable
+ParamTable::unflatten(const std::vector<double> &flat)
+{
+    panic_if((flat.size() - numGlobalParams) % perOpcodeParams != 0,
+             "bad flattened parameter vector length {}", flat.size());
+    const size_t num_opcodes =
+        (flat.size() - numGlobalParams) / perOpcodeParams;
+    ParamTable table(num_opcodes);
+    size_t i = 0;
+    table.dispatchWidth = flat[i++];
+    table.reorderBufferSize = flat[i++];
+    for (auto &inst : table.perOpcode) {
+        inst.numMicroOps = flat[i++];
+        inst.writeLatency = flat[i++];
+        for (double &ra : inst.readAdvance)
+            ra = flat[i++];
+        for (double &pc : inst.portMap)
+            pc = flat[i++];
+    }
+    return table;
+}
+
+ParamTable
+ParamTable::extractToValid() const
+{
+    auto extract = [](double value, double lower) {
+        return std::max(lower, std::round(value));
+    };
+    ParamTable out(*this);
+    out.dispatchWidth = extract(dispatchWidth, 1.0);
+    out.reorderBufferSize = extract(reorderBufferSize, 1.0);
+    for (auto &inst : out.perOpcode) {
+        inst.numMicroOps = extract(inst.numMicroOps, 1.0);
+        inst.writeLatency = extract(inst.writeLatency, 0.0);
+        for (double &ra : inst.readAdvance)
+            ra = extract(ra, 0.0);
+        for (double &pc : inst.portMap)
+            pc = extract(pc, 0.0);
+    }
+    return out;
+}
+
+int
+ParamTable::uops(isa::OpcodeId op) const
+{
+    return clampInt(perOpcode[op].numMicroOps, 1);
+}
+
+int
+ParamTable::latency(isa::OpcodeId op) const
+{
+    return clampInt(perOpcode[op].writeLatency, 0);
+}
+
+int
+ParamTable::readAdvanceCycles(isa::OpcodeId op, int idx) const
+{
+    return clampInt(perOpcode[op].readAdvance[idx], 0);
+}
+
+int
+ParamTable::portCycles(isa::OpcodeId op, int port) const
+{
+    return clampInt(perOpcode[op].portMap[port], 0);
+}
+
+int
+ParamTable::dispatch() const
+{
+    return clampInt(dispatchWidth, 1);
+}
+
+int
+ParamTable::robSize() const
+{
+    return clampInt(reorderBufferSize, 1);
+}
+
+std::string
+ParamTable::save() const
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "difftune-params v1\n";
+    os << "opcodes " << perOpcode.size() << "\n";
+    os << "dispatch_width " << dispatchWidth << "\n";
+    os << "reorder_buffer " << reorderBufferSize << "\n";
+    for (size_t op = 0; op < perOpcode.size(); ++op) {
+        const auto &inst = perOpcode[op];
+        os << "op " << op << ' ' << inst.numMicroOps << ' '
+           << inst.writeLatency;
+        for (double ra : inst.readAdvance)
+            os << ' ' << ra;
+        for (double pc : inst.portMap)
+            os << ' ' << pc;
+        os << '\n';
+    }
+    return os.str();
+}
+
+ParamTable
+ParamTable::load(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string magic, version, key;
+    is >> magic >> version;
+    fatal_if(magic != "difftune-params", "bad parameter file header");
+    size_t num_opcodes = 0;
+    is >> key >> num_opcodes;
+    fatal_if(key != "opcodes", "bad parameter file: expected 'opcodes'");
+    ParamTable table(num_opcodes);
+    is >> key >> table.dispatchWidth;
+    is >> key >> table.reorderBufferSize;
+    for (size_t i = 0; i < num_opcodes; ++i) {
+        size_t op = 0;
+        is >> key >> op;
+        fatal_if(key != "op" || op >= num_opcodes,
+                 "bad parameter file: op record {}", i);
+        auto &inst = table.perOpcode[op];
+        is >> inst.numMicroOps >> inst.writeLatency;
+        for (double &ra : inst.readAdvance)
+            is >> ra;
+        for (double &pc : inst.portMap)
+            is >> pc;
+    }
+    fatal_if(!is, "truncated parameter file");
+    return table;
+}
+
+double
+ParamTable::log10SpaceSize() const
+{
+    // Per the paper's footnote: the number of configurations bounded
+    // above by the table's own values (each parameter independently
+    // ranges over its valid integers up to its current value).
+    double log10_size = 0.0;
+    auto count = [](double value, int lower) {
+        double v = std::max<double>(lower, std::round(value));
+        return v - lower + 1.0;
+    };
+    log10_size += std::log10(count(dispatchWidth, 1));
+    log10_size += std::log10(count(reorderBufferSize, 1));
+    for (const auto &inst : perOpcode) {
+        log10_size += std::log10(count(inst.numMicroOps, 1));
+        log10_size += std::log10(count(inst.writeLatency, 0));
+        for (double ra : inst.readAdvance)
+            log10_size += std::log10(count(ra, 0));
+        for (double pc : inst.portMap)
+            log10_size += std::log10(count(pc, 0));
+    }
+    return log10_size;
+}
+
+std::vector<double>
+flatLowerBounds(size_t num_opcodes)
+{
+    std::vector<double> bounds;
+    bounds.reserve(numGlobalParams + num_opcodes * perOpcodeParams);
+    bounds.push_back(1.0); // DispatchWidth
+    bounds.push_back(1.0); // ReorderBufferSize
+    for (size_t op = 0; op < num_opcodes; ++op) {
+        bounds.push_back(1.0); // NumMicroOps
+        bounds.push_back(0.0); // WriteLatency
+        for (int i = 0; i < numReadAdvance; ++i)
+            bounds.push_back(0.0);
+        for (int i = 0; i < numPorts; ++i)
+            bounds.push_back(0.0);
+    }
+    return bounds;
+}
+
+std::vector<bool>
+ParamMask::flat(size_t num_opcodes) const
+{
+    std::vector<bool> mask;
+    mask.reserve(numGlobalParams + num_opcodes * perOpcodeParams);
+    mask.push_back(globals);
+    mask.push_back(globals);
+    for (size_t op = 0; op < num_opcodes; ++op) {
+        mask.push_back(numMicroOps);
+        mask.push_back(writeLatency);
+        for (int i = 0; i < numReadAdvance; ++i)
+            mask.push_back(readAdvance);
+        for (int i = 0; i < numPorts; ++i)
+            mask.push_back(portMap);
+    }
+    return mask;
+}
+
+void
+applyMask(ParamTable &table, const ParamTable &base, const ParamMask &mask)
+{
+    panic_if(table.numOpcodes() != base.numOpcodes(),
+             "mask base has {} opcodes, table has {}", base.numOpcodes(),
+             table.numOpcodes());
+    if (!mask.globals) {
+        table.dispatchWidth = base.dispatchWidth;
+        table.reorderBufferSize = base.reorderBufferSize;
+    }
+    for (size_t op = 0; op < table.numOpcodes(); ++op) {
+        auto &dst = table.perOpcode[op];
+        const auto &src = base.perOpcode[op];
+        if (!mask.numMicroOps)
+            dst.numMicroOps = src.numMicroOps;
+        if (!mask.writeLatency)
+            dst.writeLatency = src.writeLatency;
+        if (!mask.readAdvance)
+            dst.readAdvance = src.readAdvance;
+        if (!mask.portMap)
+            dst.portMap = src.portMap;
+    }
+}
+
+} // namespace difftune::params

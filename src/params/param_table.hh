@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The simulator parameter table (Table II of the paper).
+ *
+ * Per-opcode parameters: NumMicroOps, WriteLatency, 3 ReadAdvanceCycles
+ * entries and a 10-port PortMap. Global parameters: DispatchWidth and
+ * ReorderBufferSize. During optimization all parameters are
+ * represented as floating point; extraction applies the constraint
+ * transform (absolute value + lower bound) and rounds to integers.
+ */
+
+#ifndef DIFFTUNE_PARAMS_PARAM_TABLE_HH
+#define DIFFTUNE_PARAMS_PARAM_TABLE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace difftune::params
+{
+
+/** Number of execution ports (llvm-mca's Haswell default). */
+constexpr int numPorts = 10;
+/** Number of ReadAdvanceCycles entries per instruction. */
+constexpr int numReadAdvance = 3;
+/** Flattened parameter count per opcode. */
+constexpr int perOpcodeParams = 2 + numReadAdvance + numPorts;
+/** Number of global parameters. */
+constexpr int numGlobalParams = 2;
+
+/** Per-opcode parameter record. */
+struct InstParams
+{
+    double numMicroOps = 1.0;
+    double writeLatency = 1.0;
+    std::array<double, numReadAdvance> readAdvance{};
+    std::array<double, numPorts> portMap{};
+};
+
+/** The full parameter table for one simulator instantiation. */
+struct ParamTable
+{
+    std::vector<InstParams> perOpcode;
+    double dispatchWidth = 4.0;
+    double reorderBufferSize = 192.0;
+
+    ParamTable() = default;
+
+    /** Create a table sized for @p num_opcodes, all defaults. */
+    explicit ParamTable(size_t num_opcodes) : perOpcode(num_opcodes) {}
+
+    size_t numOpcodes() const { return perOpcode.size(); }
+
+    /** Flattened length: numGlobalParams + perOpcodeParams per opcode. */
+    size_t
+    flatSize() const
+    {
+        return numGlobalParams + perOpcode.size() * perOpcodeParams;
+    }
+
+    /** Flatten to a vector (globals first, then per-opcode records). */
+    std::vector<double> flatten() const;
+
+    /** Rebuild from a flattened vector. */
+    static ParamTable unflatten(const std::vector<double> &flat);
+
+    /**
+     * Round every parameter to the nearest integer and clamp to its
+     * constraint lower bound, yielding a valid Table II configuration.
+     * (The paper's abs + lower-bound reparameterization of raw
+     * optimization variables lives in core/raw_params.hh; this is the
+     * final integer extraction step applied to actual values.)
+     */
+    ParamTable extractToValid() const;
+
+    // ---- Integer views used by the simulators. The simulators are
+    // defined on integer parameters; these accessors clamp to the
+    // constraint lower bounds so any table is safely interpretable.
+
+    /** NumMicroOps of @p op: integer, >= 1. */
+    int uops(isa::OpcodeId op) const;
+    /** WriteLatency of @p op: integer, >= 0. */
+    int latency(isa::OpcodeId op) const;
+    /** ReadAdvanceCycles entry @p idx of @p op: integer, >= 0. */
+    int readAdvanceCycles(isa::OpcodeId op, int idx) const;
+    /** PortMap cycles of @p op on @p port: integer, >= 0. */
+    int portCycles(isa::OpcodeId op, int port) const;
+    /** DispatchWidth: integer, >= 1. */
+    int dispatch() const;
+    /** ReorderBufferSize: integer, >= 1. */
+    int robSize() const;
+
+    /** Text serialization (round-trips with load()). */
+    std::string save() const;
+    /** Parse a table saved by save(). */
+    static ParamTable load(const std::string &text);
+
+    /**
+     * log10 of the size of the induced valid-configuration space,
+     * counting, per the paper's footnote 2, configurations bounded by
+     * each parameter's current value (used to reproduce the
+     * "10^19336 possible configurations" style headline).
+     */
+    double log10SpaceSize() const;
+};
+
+/** Lower bounds for the flattened layout (constraints of Table II). */
+std::vector<double> flatLowerBounds(size_t num_opcodes);
+
+/**
+ * Which parameter groups are trainable. Masked-off groups keep the
+ * values of the base table during optimization (used by the
+ * WriteLatency-only experiment of Section VI-B and by the llvm_sim
+ * experiments, which only expose WriteLatency + PortMap).
+ */
+struct ParamMask
+{
+    bool numMicroOps = true;
+    bool writeLatency = true;
+    bool readAdvance = true;
+    bool portMap = true;
+    bool globals = true;
+
+    /** All groups trainable. */
+    static ParamMask all() { return ParamMask{}; }
+
+    /** Only WriteLatency trainable (Section VI-B). */
+    static ParamMask
+    writeLatencyOnly()
+    {
+        return ParamMask{false, true, false, false, false};
+    }
+
+    /** WriteLatency + PortMap (llvm_sim, Table VII). */
+    static ParamMask
+    usim()
+    {
+        return ParamMask{false, true, false, true, false};
+    }
+
+    /** Per-flat-index trainability. */
+    std::vector<bool> flat(size_t num_opcodes) const;
+};
+
+/**
+ * Overwrite the masked-off entries of @p table with the values from
+ * @p base, enforcing the mask after an optimization step.
+ */
+void applyMask(ParamTable &table, const ParamTable &base,
+               const ParamMask &mask);
+
+} // namespace difftune::params
+
+#endif // DIFFTUNE_PARAMS_PARAM_TABLE_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Sampling-distribution implementation.
+ */
+
+#include "params/sampling.hh"
+
+#include <algorithm>
+
+namespace difftune::params
+{
+
+ParamTable
+SamplingDist::sample(Rng &rng, const ParamTable &base) const
+{
+    ParamTable table(base);
+    if (mask.globals) {
+        table.dispatchWidth = double(rng.uniformInt(dispatchMin,
+                                                    dispatchMax));
+        table.reorderBufferSize = double(rng.uniformInt(robMin, robMax));
+    }
+    for (auto &inst : table.perOpcode) {
+        if (mask.numMicroOps)
+            inst.numMicroOps = double(rng.uniformInt(uopsMin, uopsMax));
+        if (mask.writeLatency) {
+            inst.writeLatency =
+                double(rng.uniformInt(writeLatencyMin, writeLatencyMax));
+        }
+        if (mask.readAdvance) {
+            for (double &ra : inst.readAdvance)
+                ra = double(rng.uniformInt(0, readAdvanceMax));
+        }
+        if (mask.portMap) {
+            inst.portMap.fill(0.0);
+            int chosen = int(rng.uniformInt(0, portMaxPorts));
+            for (int i = 0; i < chosen; ++i) {
+                int port = int(rng.uniformInt(0, numPorts - 1));
+                inst.portMap[port] =
+                    double(rng.uniformInt(0, portMaxCycles));
+            }
+        }
+    }
+    return table;
+}
+
+SamplingDist
+SamplingDist::full()
+{
+    return SamplingDist{};
+}
+
+SamplingDist
+SamplingDist::writeLatencyOnly()
+{
+    SamplingDist dist;
+    dist.writeLatencyMax = 10;
+    dist.mask = ParamMask::writeLatencyOnly();
+    return dist;
+}
+
+SamplingDist
+SamplingDist::usim()
+{
+    SamplingDist dist;
+    dist.mask = ParamMask::usim();
+    return dist;
+}
+
+} // namespace difftune::params

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Parameter-table sampling distributions (Section V-A).
+ *
+ * Surrogate training draws random parameter tables from these
+ * distributions; the parameter-table optimization is initialized from
+ * the same distribution. The defaults are the paper's: WriteLatency
+ * uniform on {0..5}, PortMap 0-2 cycles on 0-2 randomly chosen ports,
+ * ReadAdvanceCycles on {0..5}, NumMicroOps on {1..10}, DispatchWidth
+ * on {1..10}, ReorderBufferSize on {50..250}.
+ */
+
+#ifndef DIFFTUNE_PARAMS_SAMPLING_HH
+#define DIFFTUNE_PARAMS_SAMPLING_HH
+
+#include "base/random.hh"
+#include "params/param_table.hh"
+
+namespace difftune::params
+{
+
+/** Sampling distribution over parameter tables. */
+struct SamplingDist
+{
+    int writeLatencyMin = 0, writeLatencyMax = 5;
+    int readAdvanceMax = 5;
+    int uopsMin = 1, uopsMax = 10;
+    int portMaxPorts = 2;   ///< up to this many ports per instruction
+    int portMaxCycles = 2;  ///< up to this many cycles per chosen port
+    int dispatchMin = 1, dispatchMax = 10;
+    int robMin = 50, robMax = 250;
+
+    /** Groups not covered by the mask keep the base table's values. */
+    ParamMask mask = ParamMask::all();
+
+    /** Draw a table; masked-off groups are copied from @p base. */
+    ParamTable sample(Rng &rng, const ParamTable &base) const;
+
+    /** Paper defaults for the full-table experiment (Section V-A). */
+    static SamplingDist full();
+
+    /**
+     * The WriteLatency-only experiment of Section VI-B: WriteLatency
+     * uniform on {0..10}; everything else fixed at the base table.
+     */
+    static SamplingDist writeLatencyOnly();
+
+    /** llvm_sim experiments: WriteLatency + PortMap only. */
+    static SamplingDist usim();
+};
+
+} // namespace difftune::params
+
+#endif // DIFFTUNE_PARAMS_SAMPLING_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The abstract simulator interface: the paper's f(theta, x).
+ *
+ * DiffTune treats a simulator as an opaque parameterized function from
+ * a parameter table and a basic block to a predicted timing (cycles
+ * per block iteration). Both XMca (llvm-mca analog) and USim
+ * (llvm_sim analog) implement this interface, and the DiffTune core
+ * is generic over it.
+ */
+
+#ifndef DIFFTUNE_PARAMS_SIMULATOR_HH
+#define DIFFTUNE_PARAMS_SIMULATOR_HH
+
+#include <string>
+
+#include "isa/instruction.hh"
+#include "params/param_table.hh"
+
+namespace difftune::params
+{
+
+/** Abstract parameterized basic-block timing simulator. */
+class Simulator
+{
+  public:
+    virtual ~Simulator() = default;
+
+    /**
+     * Predict the timing of @p block under @p table: the number of
+     * cycles to execute `iterations()` back-to-back repetitions of
+     * the block, divided by the iteration count (the dataset's
+     * definition of timing, Section V-A).
+     */
+    virtual double timing(const isa::BasicBlock &block,
+                          const ParamTable &table) const = 0;
+
+    /** Human-readable simulator name. */
+    virtual std::string name() const = 0;
+
+    /** Number of unrolled block repetitions simulated (paper: 100). */
+    virtual int iterations() const { return 100; }
+};
+
+} // namespace difftune::params
+
+#endif // DIFFTUNE_PARAMS_SIMULATOR_HH

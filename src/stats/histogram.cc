@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Histogram implementation.
+ */
+
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace difftune::stats
+{
+
+void
+IntHistogram::add(double value)
+{
+    int bucket = int(std::lround(value));
+    bucket = std::clamp(bucket, 0, int(counts_.size()) - 1);
+    ++counts_[bucket];
+}
+
+long
+IntHistogram::total() const
+{
+    long sum = 0;
+    for (long c : counts_)
+        sum += c;
+    return sum;
+}
+
+std::string
+IntHistogram::renderVersus(const IntHistogram &other,
+                           const std::string &self_label,
+                           const std::string &other_label) const
+{
+    const int buckets = std::max(numBuckets(), other.numBuckets());
+    long max_count = 1;
+    for (int b = 0; b < buckets; ++b) {
+        if (b < numBuckets())
+            max_count = std::max(max_count, count(b));
+        if (b < other.numBuckets())
+            max_count = std::max(max_count, other.count(b));
+    }
+    const int bar_width = 40;
+    std::ostringstream os;
+    for (int b = 0; b < buckets; ++b) {
+        const long self = b < numBuckets() ? count(b) : 0;
+        const long them = b < other.numBuckets() ? other.count(b) : 0;
+        auto bar = [&](long c) {
+            return std::string(size_t(c * bar_width / max_count), '#');
+        };
+        os << "  " << b << " | " << self_label << " " << bar(self) << " ("
+           << self << ")\n";
+        os << "    | " << other_label << " " << bar(them) << " (" << them
+           << ")\n";
+    }
+    return os.str();
+}
+
+} // namespace difftune::stats

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Integer-bucket histograms for the Figure 4 parameter-distribution
+ * plots.
+ */
+
+#ifndef DIFFTUNE_STATS_HISTOGRAM_HH
+#define DIFFTUNE_STATS_HISTOGRAM_HH
+
+#include <string>
+#include <vector>
+
+namespace difftune::stats
+{
+
+/** Histogram over integer buckets [0, maxBucket]; values clamp. */
+class IntHistogram
+{
+  public:
+    explicit IntHistogram(int max_bucket) : counts_(max_bucket + 1, 0) {}
+
+    /** Add one observation (rounded, clamped into range). */
+    void add(double value);
+
+    /** Count in bucket @p bucket. */
+    long count(int bucket) const { return counts_[bucket]; }
+
+    int numBuckets() const { return int(counts_.size()); }
+
+    /** Total observations. */
+    long total() const;
+
+    /** Render as an ASCII bar chart alongside @p other. */
+    std::string renderVersus(const IntHistogram &other,
+                             const std::string &self_label,
+                             const std::string &other_label) const;
+
+  private:
+    std::vector<long> counts_;
+};
+
+} // namespace difftune::stats
+
+#endif // DIFFTUNE_STATS_HISTOGRAM_HH

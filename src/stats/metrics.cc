@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Metric implementations.
+ */
+
+#include "stats/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "base/logging.hh"
+
+namespace difftune::stats
+{
+
+double
+mape(const std::vector<double> &predictions,
+     const std::vector<double> &truths)
+{
+    panic_if(predictions.size() != truths.size(),
+             "mape: {} predictions vs {} truths", predictions.size(),
+             truths.size());
+    double total = 0.0;
+    size_t count = 0;
+    for (size_t i = 0; i < truths.size(); ++i) {
+        if (truths[i] == 0.0)
+            continue;
+        total += std::fabs(predictions[i] - truths[i]) / truths[i];
+        ++count;
+    }
+    return count == 0 ? 0.0 : total / double(count);
+}
+
+namespace
+{
+
+/**
+ * Count inversions (strict descents) in @p values via merge sort.
+ * Equal elements are not inversions.
+ */
+uint64_t
+countInversions(std::vector<double> &values, size_t lo, size_t hi,
+                std::vector<double> &scratch)
+{
+    if (hi - lo <= 1)
+        return 0;
+    const size_t mid = lo + (hi - lo) / 2;
+    uint64_t count = countInversions(values, lo, mid, scratch) +
+                     countInversions(values, mid, hi, scratch);
+    size_t i = lo, j = mid, k = lo;
+    while (i < mid && j < hi) {
+        if (values[j] < values[i]) {
+            count += mid - i;
+            scratch[k++] = values[j++];
+        } else {
+            scratch[k++] = values[i++];
+        }
+    }
+    while (i < mid)
+        scratch[k++] = values[i++];
+    while (j < hi)
+        scratch[k++] = values[j++];
+    std::copy(scratch.begin() + lo, scratch.begin() + hi,
+              values.begin() + lo);
+    return count;
+}
+
+/** Sum over tie groups of t * (t - 1) / 2 in a sorted range. */
+uint64_t
+tiePairs(const std::vector<double> &sorted)
+{
+    uint64_t pairs = 0;
+    size_t i = 0;
+    while (i < sorted.size()) {
+        size_t j = i;
+        while (j < sorted.size() && sorted[j] == sorted[i])
+            ++j;
+        const uint64_t t = j - i;
+        pairs += t * (t - 1) / 2;
+        i = j;
+    }
+    return pairs;
+}
+
+} // namespace
+
+double
+kendallTau(const std::vector<double> &x, const std::vector<double> &y)
+{
+    panic_if(x.size() != y.size(), "kendallTau: {} xs vs {} ys",
+             x.size(), y.size());
+    const size_t n = x.size();
+    if (n < 2)
+        return 0.0;
+
+    // Sort pairs by (x, y).
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (x[a] != x[b])
+            return x[a] < x[b];
+        return y[a] < y[b];
+    });
+
+    // Tie counts: xtie, ytie, and joint ties.
+    std::vector<double> xs(n), ys(n);
+    for (size_t i = 0; i < n; ++i) {
+        xs[i] = x[order[i]];
+        ys[i] = y[order[i]];
+    }
+    uint64_t xtie = tiePairs(xs);
+
+    uint64_t ntie = 0;
+    {
+        size_t i = 0;
+        while (i < n) {
+            size_t j = i;
+            while (j < n && xs[j] == xs[i] && ys[j] == ys[i])
+                ++j;
+            const uint64_t t = j - i;
+            ntie += t * (t - 1) / 2;
+            i = j;
+        }
+    }
+
+    std::vector<double> ys_sorted(ys);
+    std::sort(ys_sorted.begin(), ys_sorted.end());
+    uint64_t ytie = tiePairs(ys_sorted);
+
+    // Discordant pairs: inversions of y in x-order (ties excluded).
+    std::vector<double> seq(ys);
+    std::vector<double> scratch(n);
+    const uint64_t discordant = countInversions(seq, 0, n, scratch);
+
+    const uint64_t total = uint64_t(n) * (n - 1) / 2;
+    const double con_minus_dis =
+        double(total) - double(xtie) - double(ytie) + double(ntie) -
+        2.0 * double(discordant);
+    const double denom = std::sqrt(double(total - xtie)) *
+                         std::sqrt(double(total - ytie));
+    if (denom == 0.0)
+        return 0.0;
+    return con_minus_dis / denom;
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double v : values)
+        total += v;
+    return total / double(values.size());
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    const double m = mean(values);
+    double total = 0.0;
+    for (double v : values)
+        total += (v - m) * (v - m);
+    return std::sqrt(total / double(values.size() - 1));
+}
+
+double
+median(std::vector<double> values)
+{
+    if (values.empty())
+        return 0.0;
+    const size_t mid = values.size() / 2;
+    std::nth_element(values.begin(), values.begin() + mid, values.end());
+    double hi = values[mid];
+    if (values.size() % 2 == 1)
+        return hi;
+    std::nth_element(values.begin(), values.begin() + mid - 1,
+                     values.begin() + mid);
+    return 0.5 * (hi + values[mid - 1]);
+}
+
+} // namespace difftune::stats

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Evaluation metrics: mean absolute percentage error (the paper's
+ * error definition, Section V-A) and Kendall's tau rank correlation
+ * (the paper's ordering metric, Table IV).
+ */
+
+#ifndef DIFFTUNE_STATS_METRICS_HH
+#define DIFFTUNE_STATS_METRICS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace difftune::stats
+{
+
+/**
+ * Error = mean over the dataset of |pred - truth| / truth.
+ * Entries with truth == 0 are skipped.
+ */
+double mape(const std::vector<double> &predictions,
+            const std::vector<double> &truths);
+
+/**
+ * Kendall's tau-b rank correlation coefficient, with tie correction,
+ * computed in O(n log n) via merge-sort inversion counting (matching
+ * scipy.stats.kendalltau, which the BHive evaluation uses).
+ */
+double kendallTau(const std::vector<double> &x,
+                  const std::vector<double> &y);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &values);
+
+/** Sample standard deviation (n - 1 denominator; 0 for n < 2). */
+double stddev(const std::vector<double> &values);
+
+/** Median (by copy + nth_element). */
+double median(std::vector<double> values);
+
+} // namespace difftune::stats
+
+#endif // DIFFTUNE_STATS_METRICS_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Model implementation.
+ */
+
+#include "surrogate/model.hh"
+
+namespace difftune::surrogate
+{
+
+Model::Model(const ModelConfig &config, size_t vocab_size)
+    : config_(config)
+{
+    Rng rng(config.seed);
+    embed_ = std::make_unique<nn::Embedding>(params_, int(vocab_size),
+                                             config.embedDim, rng);
+    tokenLstm_ = std::make_unique<nn::LstmStack>(
+        params_, config.embedDim, config.hidden, config.tokenLayers, rng);
+    blockLstm_ = std::make_unique<nn::LstmStack>(
+        params_, config.hidden + config.paramDim, config.hidden,
+        config.blockLayers, rng);
+    head_ = std::make_unique<nn::Linear>(params_, config.hidden, 1, rng);
+}
+
+nn::Var
+Model::forward(nn::Ctx &ctx, const EncodedBlock &block,
+               const std::vector<nn::Var> &inst_params) const
+{
+    panic_if(block.empty(), "surrogate forward on an empty block");
+    panic_if(config_.paramDim == 0 ? !inst_params.empty()
+                                   : inst_params.size() != block.size(),
+             "got {} parameter vectors for {} instructions "
+             "(paramDim {})",
+             inst_params.size(), block.size(), config_.paramDim);
+
+    std::vector<nn::Var> inst_vecs;
+    inst_vecs.reserve(block.size());
+    for (size_t i = 0; i < block.size(); ++i) {
+        std::vector<nn::Var> token_vecs;
+        token_vecs.reserve(block[i].size());
+        for (isa::TokenId token : block[i])
+            token_vecs.push_back(embed_->forward(ctx, int(token)));
+        nn::Var inst_vec = tokenLstm_->runSequence(ctx, token_vecs);
+        if (config_.paramDim > 0)
+            inst_vec = ctx.graph.concat({inst_vec, inst_params[i]});
+        inst_vecs.push_back(inst_vec);
+    }
+    nn::Var block_vec = blockLstm_->runSequence(ctx, inst_vecs);
+    return head_->forward(ctx, block_vec);
+}
+
+double
+Model::predict(const EncodedBlock &block) const
+{
+    nn::Graph graph;
+    nn::Ctx ctx{graph, params_, nullptr};
+    nn::Var pred = forward(ctx, block, {});
+    return graph.scalarValue(pred);
+}
+
+EncodedBlock
+encodeBlock(const isa::BasicBlock &block)
+{
+    return isa::theVocab().encode(block);
+}
+
+} // namespace difftune::surrogate

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The Ithemal-style basic-block model and its DiffTune-surrogate
+ * variant (Figure 3 of the paper).
+ *
+ * Architecture: a token embedding table maps each instruction's
+ * canonicalized tokens to vectors; a stacked token-level LSTM folds
+ * each instruction's tokens into an instruction vector; a stacked
+ * block-level LSTM folds the instruction vectors into a block vector;
+ * a final linear layer produces the timing prediction.
+ *
+ * With paramDim > 0 the model is the DiffTune surrogate: a
+ * per-instruction parameter vector (the instruction's simulator
+ * parameters concatenated with the global parameters) is appended to
+ * each instruction vector before the block LSTM — the paper's "‖"
+ * concatenation. With paramDim == 0 it is the plain Ithemal baseline.
+ */
+
+#ifndef DIFFTUNE_SURROGATE_MODEL_HH
+#define DIFFTUNE_SURROGATE_MODEL_HH
+
+#include <memory>
+
+#include "isa/tokens.hh"
+#include "nn/modules.hh"
+
+namespace difftune::surrogate
+{
+
+/** Token sequences of one block, precomputed once per block. */
+using EncodedBlock = std::vector<std::vector<isa::TokenId>>;
+
+/** Model hyperparameters. */
+struct ModelConfig
+{
+    int embedDim = 32;   ///< token embedding width
+    int hidden = 40;     ///< LSTM hidden width (both levels)
+    int tokenLayers = 2; ///< stacked LSTMs at the token level
+    int blockLayers = 2; ///< stacked LSTMs at the block level
+    int paramDim = 0;    ///< per-instruction parameter input width
+    uint64_t seed = 0x5eedface;
+};
+
+/** The Ithemal / DiffTune-surrogate model. */
+class Model
+{
+  public:
+    Model(const ModelConfig &config, size_t vocab_size);
+
+    /**
+     * Forward pass for one block.
+     *
+     * @param ctx graph/params/sink context (sink null = frozen)
+     * @param block precomputed token sequences
+     * @param inst_params one (paramDim x 1) Var per instruction; must
+     *        be empty iff the config's paramDim is 0
+     * @return a scalar Var: the timing prediction
+     */
+    nn::Var forward(nn::Ctx &ctx, const EncodedBlock &block,
+                    const std::vector<nn::Var> &inst_params) const;
+
+    /** Inference without parameter inputs (Ithemal mode). */
+    double predict(const EncodedBlock &block) const;
+
+    const ModelConfig &config() const { return config_; }
+    nn::ParamSet &params() { return params_; }
+    const nn::ParamSet &params() const { return params_; }
+
+  private:
+    ModelConfig config_;
+    nn::ParamSet params_;
+    std::unique_ptr<nn::Embedding> embed_;
+    std::unique_ptr<nn::LstmStack> tokenLstm_;
+    std::unique_ptr<nn::LstmStack> blockLstm_;
+    std::unique_ptr<nn::Linear> head_;
+};
+
+/** Encode a block with the shared vocabulary. */
+EncodedBlock encodeBlock(const isa::BasicBlock &block);
+
+} // namespace difftune::surrogate
+
+#endif // DIFFTUNE_SURROGATE_MODEL_HH

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * OpenTuner-style ensemble search implementation.
+ */
+
+#include "tuner/opentuner.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/parallel.hh"
+
+namespace difftune::tuner
+{
+
+const char *
+techniqueName(Technique technique)
+{
+    switch (technique) {
+      case Technique::RandomSearch: return "random";
+      case Technique::HillClimb: return "hillclimb";
+      case Technique::Anneal: return "anneal";
+      case Technique::DifferentialEvolution: return "diffevo";
+      case Technique::GeneticMutation: return "genetic";
+      default: return "?";
+    }
+}
+
+OpenTuner::OpenTuner(const params::Simulator &sim,
+                     const bhive::Dataset &dataset,
+                     params::ParamTable base, TunerConfig config)
+    : sim_(sim), dataset_(dataset), base_(std::move(base)),
+      config_(config), rng_(config.seed)
+{
+}
+
+double
+OpenTuner::evaluateCandidate(const params::ParamTable &table)
+{
+    const auto &train = dataset_.train();
+    const int count =
+        int(std::min<size_t>(config_.blocksPerEval, train.size()));
+    std::vector<uint32_t> picks(count);
+    for (int i = 0; i < count; ++i)
+        picks[i] = uint32_t(rng_.uniformInt(0, train.size() - 1));
+
+    std::vector<double> errors(count);
+    parallelFor(count, config_.workers, [&](size_t i) {
+        const auto &entry = train[picks[i]];
+        const double pred = sim_.timing(dataset_.block(entry), table);
+        errors[i] =
+            std::fabs(pred - entry.timing) / std::max(entry.timing, 1e-9);
+    });
+    evalsUsed_ += count;
+    double total = 0.0;
+    for (double e : errors)
+        total += e;
+    return total / double(count);
+}
+
+void
+OpenTuner::mutate(params::ParamTable &table, double fraction, Rng &rng)
+{
+    // Paper's search ranges: per-instruction values in [0, 5],
+    // DispatchWidth in [1, 10], ReorderBufferSize in [50, 250].
+    for (auto &inst : table.perOpcode) {
+        if (config_.dist.mask.numMicroOps && rng.uniformReal() < fraction)
+            inst.numMicroOps = double(rng.uniformInt(1, 5));
+        if (config_.dist.mask.writeLatency &&
+            rng.uniformReal() < fraction)
+            inst.writeLatency = double(rng.uniformInt(0, 5));
+        if (config_.dist.mask.readAdvance) {
+            for (double &ra : inst.readAdvance)
+                if (rng.uniformReal() < fraction)
+                    ra = double(rng.uniformInt(0, 5));
+        }
+        if (config_.dist.mask.portMap) {
+            for (double &pc : inst.portMap)
+                if (rng.uniformReal() < fraction)
+                    pc = double(rng.uniformInt(0, 5));
+        }
+    }
+    if (config_.dist.mask.globals) {
+        if (rng.uniformReal() < fraction)
+            table.dispatchWidth = double(rng.uniformInt(1, 10));
+        if (rng.uniformReal() < fraction)
+            table.reorderBufferSize = double(rng.uniformInt(50, 250));
+    }
+}
+
+params::ParamTable
+OpenTuner::proposeHillClimb()
+{
+    params::ParamTable candidate(current_);
+    mutate(candidate, 0.02, rng_);
+    return candidate;
+}
+
+params::ParamTable
+OpenTuner::proposeAnneal()
+{
+    params::ParamTable candidate(current_);
+    mutate(candidate, 0.05, rng_);
+    return candidate;
+}
+
+params::ParamTable
+OpenTuner::proposeDiffEvo()
+{
+    const size_t n = population_.size();
+    const auto &a = population_[rng_.uniformInt(0, n - 1)];
+    const auto &b = population_[rng_.uniformInt(0, n - 1)];
+    const auto &c = population_[rng_.uniformInt(0, n - 1)];
+    std::vector<double> fa = a.flatten(), fb = b.flatten(),
+                        fc = c.flatten();
+    const double f = 0.6;
+    for (size_t i = 0; i < fa.size(); ++i)
+        fa[i] = std::round(fa[i] + f * (fb[i] - fc[i]));
+    params::ParamTable candidate = params::ParamTable::unflatten(fa);
+    // Clamp back into the search box.
+    for (auto &inst : candidate.perOpcode) {
+        inst.numMicroOps = std::clamp(inst.numMicroOps, 1.0, 5.0);
+        inst.writeLatency = std::clamp(inst.writeLatency, 0.0, 5.0);
+        for (double &ra : inst.readAdvance)
+            ra = std::clamp(ra, 0.0, 5.0);
+        for (double &pc : inst.portMap)
+            pc = std::clamp(pc, 0.0, 5.0);
+    }
+    candidate.dispatchWidth =
+        std::clamp(candidate.dispatchWidth, 1.0, 10.0);
+    candidate.reorderBufferSize =
+        std::clamp(candidate.reorderBufferSize, 50.0, 250.0);
+    params::applyMask(candidate, base_, config_.dist.mask);
+    return candidate;
+}
+
+params::ParamTable
+OpenTuner::proposeGenetic()
+{
+    const size_t n = population_.size();
+    const auto &a = population_[rng_.uniformInt(0, n - 1)];
+    const auto &b = population_[rng_.uniformInt(0, n - 1)];
+    params::ParamTable candidate(a);
+    for (size_t op = 0; op < candidate.numOpcodes(); ++op)
+        if (rng_.bernoulli(0.5))
+            candidate.perOpcode[op] = b.perOpcode[op];
+    if (rng_.bernoulli(0.5))
+        candidate.dispatchWidth = b.dispatchWidth;
+    if (rng_.bernoulli(0.5))
+        candidate.reorderBufferSize = b.reorderBufferSize;
+    mutate(candidate, 0.01, rng_);
+    params::applyMask(candidate, base_, config_.dist.mask);
+    return candidate;
+}
+
+params::ParamTable
+OpenTuner::propose(Technique technique)
+{
+    switch (technique) {
+      case Technique::RandomSearch:
+        return config_.dist.sample(rng_, base_);
+      case Technique::HillClimb:
+        return proposeHillClimb();
+      case Technique::Anneal:
+        return proposeAnneal();
+      case Technique::DifferentialEvolution:
+        return proposeDiffEvo();
+      case Technique::GeneticMutation:
+        return proposeGenetic();
+      default:
+        panic("bad technique");
+    }
+}
+
+TunerResult
+OpenTuner::run()
+{
+    constexpr int num_techniques = int(Technique::NumTechniques);
+
+    // Initialize state from the sampling distribution (Section V-C).
+    current_ = config_.dist.sample(rng_, base_);
+    currentError_ = evaluateCandidate(current_);
+    best_ = current_;
+    bestError_ = currentError_;
+    for (int i = 0; i < 8; ++i) {
+        population_.push_back(config_.dist.sample(rng_, base_));
+        populationError_.push_back(
+            evaluateCandidate(population_.back()));
+    }
+
+    std::array<long, num_techniques> picks{};
+    std::array<double, num_techniques> reward{};
+    long total_picks = 0;
+
+    TunerResult result;
+    while (evalsUsed_ + config_.blocksPerEval <= config_.evalBudget) {
+        // UCB1 technique selection.
+        int technique = 0;
+        double best_score = -1.0;
+        for (int t = 0; t < num_techniques; ++t) {
+            double score;
+            if (picks[t] == 0) {
+                score = 1e18 - t;
+            } else {
+                score = reward[t] / double(picks[t]) +
+                        config_.ucbC *
+                            std::sqrt(std::log(double(total_picks + 1)) /
+                                      double(picks[t]));
+            }
+            if (score > best_score) {
+                best_score = score;
+                technique = t;
+            }
+        }
+
+        params::ParamTable candidate = propose(Technique(technique));
+        const double error = evaluateCandidate(candidate);
+        ++picks[technique];
+        ++total_picks;
+        ++result.iterations;
+
+        // Reward: found a new global best.
+        if (error < bestError_) {
+            bestError_ = error;
+            best_ = candidate;
+            reward[technique] += 1.0;
+        }
+
+        // Technique-local state updates.
+        switch (Technique(technique)) {
+          case Technique::HillClimb:
+            if (error < currentError_) {
+                current_ = candidate;
+                currentError_ = error;
+            }
+            break;
+          case Technique::Anneal: {
+            const double delta = error - currentError_;
+            if (delta < 0.0 ||
+                rng_.uniformReal() < std::exp(-delta / annealTemp_)) {
+                current_ = candidate;
+                currentError_ = error;
+            }
+            annealTemp_ = std::max(0.01, annealTemp_ * 0.995);
+            break;
+          }
+          case Technique::DifferentialEvolution:
+          case Technique::GeneticMutation:
+          case Technique::RandomSearch: {
+            // Replace the worst population member when improving.
+            auto worst = std::max_element(populationError_.begin(),
+                                          populationError_.end());
+            if (error < *worst) {
+                const size_t idx = worst - populationError_.begin();
+                population_[idx] = candidate;
+                populationError_[idx] = error;
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    result.best = best_.extractToValid();
+    params::applyMask(result.best, base_, config_.dist.mask);
+    result.bestTrainError = bestError_;
+    result.evalsUsed = evalsUsed_;
+    result.picks = picks;
+    return result;
+}
+
+} // namespace difftune::tuner

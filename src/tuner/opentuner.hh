@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Black-box global optimization baseline in the style of
+ * OpenTuner (Ansel et al.): a multi-armed bandit selects, per
+ * iteration, among an ensemble of search techniques spanning convex
+ * and non-convex optimization (random search, pattern hill climbing,
+ * simulated annealing, differential evolution, genetic mutation).
+ * Each iteration proposes a full parameter table, evaluates it with
+ * the real simulator on a training subsample, and reports the result
+ * back to the bandit.
+ *
+ * Budget parity with DiffTune is enforced in *simulator block
+ * evaluations*, as in Section V-C of the paper.
+ */
+
+#ifndef DIFFTUNE_TUNER_OPENTUNER_HH
+#define DIFFTUNE_TUNER_OPENTUNER_HH
+
+#include "bhive/dataset.hh"
+#include "params/sampling.hh"
+#include "params/simulator.hh"
+
+namespace difftune::tuner
+{
+
+/** Tuner configuration. */
+struct TunerConfig
+{
+    params::SamplingDist dist = params::SamplingDist::full();
+    /** Total simulator block-evaluation budget. */
+    long evalBudget = 100000;
+    /** Blocks evaluated per candidate (training subsample). */
+    int blocksPerEval = 256;
+    /** UCB exploration constant for the technique bandit. */
+    double ucbC = 1.4;
+    int workers = 0;
+    uint64_t seed = 99;
+};
+
+/** Search techniques in the ensemble. */
+enum class Technique : uint8_t
+{
+    RandomSearch,
+    HillClimb,
+    Anneal,
+    DifferentialEvolution,
+    GeneticMutation,
+    NumTechniques,
+};
+
+/** @return printable technique name. */
+const char *techniqueName(Technique technique);
+
+/** Result of a tuning run. */
+struct TunerResult
+{
+    params::ParamTable best;
+    double bestTrainError = 0.0;
+    long evalsUsed = 0;
+    long iterations = 0;
+    /** Bandit pick counts per technique. */
+    std::array<long, size_t(Technique::NumTechniques)> picks{};
+};
+
+/** OpenTuner-style ensemble search. */
+class OpenTuner
+{
+  public:
+    OpenTuner(const params::Simulator &sim, const bhive::Dataset &dataset,
+              params::ParamTable base, TunerConfig config);
+
+    /** Run until the evaluation budget is exhausted. */
+    TunerResult run();
+
+  private:
+    /** Mean error of @p table on a fresh training subsample. */
+    double evaluateCandidate(const params::ParamTable &table);
+
+    /** Propose a new candidate with the given technique. */
+    params::ParamTable propose(Technique technique);
+
+    // Technique-specific proposal helpers.
+    params::ParamTable proposeHillClimb();
+    params::ParamTable proposeAnneal();
+    params::ParamTable proposeDiffEvo();
+    params::ParamTable proposeGenetic();
+
+    /** Mutate ~@p fraction of the flat entries within their ranges. */
+    void mutate(params::ParamTable &table, double fraction, Rng &rng);
+
+    const params::Simulator &sim_;
+    const bhive::Dataset &dataset_;
+    params::ParamTable base_;
+    TunerConfig config_;
+    Rng rng_;
+
+    params::ParamTable best_;
+    double bestError_ = 0.0;
+    params::ParamTable current_; ///< hill-climb / annealing state
+    double currentError_ = 0.0;
+    double annealTemp_ = 0.3;
+    std::vector<params::ParamTable> population_; ///< for DE / genetic
+    std::vector<double> populationError_;
+    long evalsUsed_ = 0;
+};
+
+} // namespace difftune::tuner
+
+#endif // DIFFTUNE_TUNER_OPENTUNER_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * USim implementation.
+ */
+
+#include "usim/usim.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "base/interval_schedule.hh"
+
+namespace difftune::usim
+{
+
+double
+USim::timing(const isa::BasicBlock &block,
+             const params::ParamTable &table) const
+{
+    if (block.empty())
+        return 0.0;
+
+    std::array<int64_t, isa::numRegs> reg_ready{};
+    PortSchedule ports(params::numPorts);
+
+    int64_t fetch_cycle = 0;
+    int fetch_left = fetchWidth_;
+    int64_t retire_frontier = 0;
+    int64_t max_retire = 1;
+
+    for (int iter = 0; iter < iterations_; ++iter) {
+        if ((iter & 0xf) == 0)
+            ports.prune(fetch_cycle);
+        for (const auto &inst : block.insts) {
+            const auto &op = inst.info();
+
+            // ---- Frontend: decode the instruction's micro-ops at
+            // fetchWidth_ per cycle. The micro-op count is the sum of
+            // the PortMap (Table VII's semantics).
+            int uops = 0;
+            for (int p = 0; p < params::numPorts; ++p)
+                uops += table.portCycles(inst.opcode, p);
+            uops = std::max(1, uops);
+
+            int remaining = uops;
+            while (remaining > 0) {
+                if (fetch_left == 0) {
+                    ++fetch_cycle;
+                    fetch_left = fetchWidth_;
+                }
+                const int take = std::min(remaining, fetch_left);
+                remaining -= take;
+                fetch_left -= take;
+            }
+            const int64_t decoded = fetch_cycle;
+
+            // ---- Rename (unlimited physical registers): micro-ops
+            // become dispatchable once operands are ready.
+            int64_t ready = decoded;
+            for (isa::RegId reg : inst.reads)
+                ready = std::max(ready, reg_ready[reg]);
+
+            // ---- Execute: each micro-op runs one cycle on its port;
+            // micro-ops of one instruction issue independently.
+            int64_t first_issue = -1;
+            int64_t last_done = ready;
+            for (int p = 0; p < params::numPorts; ++p) {
+                const int count = table.portCycles(inst.opcode, p);
+                for (int u = 0; u < count; ++u) {
+                    const int64_t issue =
+                        ports.acquireJoint({{p, 1}}, ready);
+                    first_issue = first_issue < 0
+                                      ? issue
+                                      : std::min(first_issue, issue);
+                    last_done = std::max(last_done, issue + 1);
+                }
+            }
+            if (first_issue < 0)
+                first_issue = ready; // no port usage: free micro-op
+
+            // ---- Writeback: results readable WriteLatency cycles
+            // after the instruction starts executing.
+            const int latency = table.latency(inst.opcode);
+            const int64_t result = first_issue + latency;
+            for (isa::RegId reg : inst.writes)
+                reg_ready[reg] = result;
+
+            // ---- Retire in program order once all micro-ops done.
+            const int64_t complete = std::max(result, last_done);
+            retire_frontier = std::max(retire_frontier, complete);
+            max_retire = std::max(max_retire, retire_frontier);
+            (void)op;
+        }
+    }
+    return double(max_retire) / double(iterations_);
+}
+
+} // namespace difftune::usim

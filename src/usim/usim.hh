@@ -1,0 +1,59 @@
+/**
+ * @file
+ * USim: an llvm_sim-style micro-op-level simulator (Appendix A).
+ *
+ * USim differs from XMca in the two ways llvm_sim differs from
+ * llvm-mca: it models the frontend (instructions are fetched and
+ * decoded into micro-ops at a fixed bandwidth before renaming), and
+ * it simulates micro-ops individually — each micro-op is dispatched
+ * to the execution port its PortMap names and executes there for one
+ * cycle — rather than treating the instruction as the scheduling
+ * unit. Registers are renamed with an unlimited physical register
+ * file, so the only structural backpressure is the frontend and the
+ * ports. Instructions retire in program order once all of their
+ * micro-ops have executed.
+ *
+ * Following Table VII, USim reads only WriteLatency and PortMap from
+ * the parameter table: an instruction's micro-op count is the sum of
+ * its PortMap entries (the number of micro-ops dispatched to each
+ * port), and its results become readable WriteLatency cycles after
+ * its first micro-op issues.
+ */
+
+#ifndef DIFFTUNE_USIM_USIM_HH
+#define DIFFTUNE_USIM_USIM_HH
+
+#include "params/simulator.hh"
+
+namespace difftune::usim
+{
+
+/** llvm_sim-analog micro-op simulator. */
+class USim : public params::Simulator
+{
+  public:
+    /**
+     * @param iterations block repetitions per run (paper: 100)
+     * @param fetch_width micro-ops decoded per cycle (fixed, not a
+     *        learned parameter — llvm_sim reads it from its own
+     *        frontend model)
+     */
+    explicit USim(int iterations = 100, int fetch_width = 4)
+        : iterations_(iterations), fetchWidth_(fetch_width)
+    {
+    }
+
+    double timing(const isa::BasicBlock &block,
+                  const params::ParamTable &table) const override;
+
+    std::string name() const override { return "usim"; }
+    int iterations() const override { return iterations_; }
+
+  private:
+    int iterations_;
+    int fetchWidth_;
+};
+
+} // namespace difftune::usim
+
+#endif // DIFFTUNE_USIM_USIM_HH

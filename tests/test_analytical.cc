@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the IACA-style analytical model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analytical/iaca.hh"
+#include "isa/parse.hh"
+
+namespace difftune::analytical
+{
+namespace
+{
+
+using isa::parseBlock;
+
+TEST(XIaca, IntelOnly)
+{
+    EXPECT_TRUE(XIaca::supports(hw::Uarch::IvyBridge));
+    EXPECT_TRUE(XIaca::supports(hw::Uarch::Haswell));
+    EXPECT_TRUE(XIaca::supports(hw::Uarch::Skylake));
+    EXPECT_FALSE(XIaca::supports(hw::Uarch::Zen2));
+    EXPECT_THROW(XIaca model(hw::Uarch::Zen2), std::runtime_error);
+}
+
+TEST(XIaca, EmptyBlockZero)
+{
+    XIaca model(hw::Uarch::Haswell);
+    EXPECT_EQ(model.timing(isa::BasicBlock{}), 0.0);
+}
+
+TEST(XIaca, FrontendBound)
+{
+    XIaca model(hw::Uarch::Haswell);
+    // 4 independent single-uop instructions / rename width 4.
+    auto block = parseBlock(
+        "MOV32ri $1, %ebx\nMOV32ri $2, %ecx\n"
+        "MOV32ri $3, %edi\nMOV32ri $4, %esi\n");
+    EXPECT_NEAR(model.timing(block), 1.0, 0.1);
+}
+
+TEST(XIaca, StoreBound)
+{
+    XIaca model(hw::Uarch::Haswell);
+    auto block = parseBlock(
+        "MOV64mr %rbx, 0(%rsi)\nMOV64mr %rcx, 8(%rsi)\n");
+    EXPECT_NEAR(model.timing(block), 2.0, 0.2);
+}
+
+TEST(XIaca, DependenceChainBound)
+{
+    XIaca model(hw::Uarch::Haswell);
+    auto chase = parseBlock("MOV64rm 0(%r11), %r11\n");
+    EXPECT_NEAR(model.timing(chase), 4.0, 0.3);
+    auto chain = parseBlock("IMUL64rr %rbx, %rbx\n");
+    EXPECT_NEAR(model.timing(chain), 4.0, 0.3); // 64-bit imul = 4
+}
+
+TEST(XIaca, KnowsZeroIdioms)
+{
+    XIaca model(hw::Uarch::Haswell);
+    auto idiom = parseBlock("XOR32rr %ebx, %ebx\n");
+    auto chain = parseBlock("XOR32rr %ebx, %ecx\n");
+    EXPECT_LT(model.timing(idiom), 0.5);
+    EXPECT_NEAR(model.timing(chain), 1.0, 0.1);
+}
+
+TEST(XIaca, KnowsStoreForwardChains)
+{
+    XIaca model(hw::Uarch::Haswell);
+    auto rmw = parseBlock("ADD32mr 16(%rbp), %eax\n");
+    EXPECT_GT(model.timing(rmw), 4.0);
+}
+
+TEST(XIaca, DividerPressure)
+{
+    XIaca model(hw::Uarch::Haswell);
+    auto block = parseBlock("DIV32r %rsi\n");
+    EXPECT_GT(model.timing(block), 5.0);
+}
+
+TEST(XIaca, SkylakeDiffersFromHaswell)
+{
+    auto block = parseBlock(
+        "VADDPS128rr %xmm1, %xmm1, %xmm1\n"); // FP-add chain
+    XIaca hsw(hw::Uarch::Haswell), skl(hw::Uarch::Skylake);
+    EXPECT_NE(hsw.timing(block), skl.timing(block));
+}
+
+TEST(XIaca, TimingIsMaxOfBounds)
+{
+    // Mixed block: timing at least each individual bound.
+    XIaca model(hw::Uarch::Haswell);
+    auto block = parseBlock(
+        "MOV64mr %rbx, 0(%rsi)\n"
+        "IMUL64rr %rbx, %rbx\n"
+        "NOP\nNOP\n");
+    const double t = model.timing(block);
+    EXPECT_GE(t, 1.0);  // store bound
+    EXPECT_GE(t, 4.0 / 4.0); // frontend
+}
+
+} // namespace
+} // namespace difftune::analytical

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Tests for the synthetic BHive corpus and datasets: generator
+ * validity, deduplication, categories, splits and summary stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bhive/dataset.hh"
+#include "bhive/generator.hh"
+#include "isa/parse.hh"
+
+namespace difftune::bhive
+{
+namespace
+{
+
+TEST(Generator, BlocksAreWellFormed)
+{
+    Rng rng(1);
+    for (int app = 0; app < numApps; ++app) {
+        const AppProfile &profile = appProfile(App(app));
+        for (int i = 0; i < 50; ++i) {
+            isa::BasicBlock block = generateBlock(rng, profile);
+            ASSERT_GE(block.size(), 1u);
+            ASSERT_LE(block.size(), 64u);
+            for (const auto &inst : block.insts) {
+                const auto &op = inst.info();
+                EXPECT_EQ(inst.slots.size(), op.numRegOps());
+                if (op.mem != isa::MemMode::None)
+                    EXPECT_NE(inst.mem.base, isa::invalidReg);
+                for (isa::RegId reg : inst.slots) {
+                    if (op.isVector)
+                        EXPECT_TRUE(isa::isVec(reg));
+                    else
+                        EXPECT_TRUE(isa::isGpr(reg));
+                }
+            }
+        }
+    }
+}
+
+class ProfileTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ProfileTest, RoundTripsThroughPrinter)
+{
+    Rng rng(GetParam() * 7 + 1);
+    const AppProfile &profile = appProfile(App(GetParam()));
+    for (int i = 0; i < 20; ++i) {
+        isa::BasicBlock block = generateBlock(rng, profile);
+        isa::BasicBlock reparsed = isa::parseBlock(isa::toString(block));
+        EXPECT_EQ(reparsed.hash(), block.hash());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, ProfileTest,
+                         ::testing::Range(0, numApps),
+                         [](const auto &info) {
+                             std::string name =
+                                 appName(App(info.param));
+                             for (char &c : name)
+                                 if (!isalnum(c))
+                                     c = '_';
+                             return name;
+                         });
+
+TEST(Generator, VectorAppsEmitVectorCode)
+{
+    Rng rng(5);
+    int vector_insts = 0, total = 0;
+    for (int i = 0; i < 100; ++i) {
+        auto block = generateBlock(rng, appProfile(App::OpenBLAS));
+        for (const auto &inst : block.insts) {
+            total += 1;
+            vector_insts += inst.info().isVector;
+        }
+    }
+    EXPECT_GT(double(vector_insts) / total, 0.4);
+}
+
+TEST(Generator, ScalarAppsRarelyEmitVectorCode)
+{
+    Rng rng(6);
+    int vector_insts = 0, total = 0;
+    for (int i = 0; i < 100; ++i) {
+        auto block = generateBlock(rng, appProfile(App::Redis));
+        for (const auto &inst : block.insts) {
+            total += 1;
+            vector_insts += inst.info().isVector;
+        }
+    }
+    EXPECT_EQ(vector_insts, 0);
+    EXPECT_GT(total, 0);
+}
+
+TEST(Categories, HandClassifiedBlocks)
+{
+    using isa::parseBlock;
+    EXPECT_EQ(classifyBlock(parseBlock("ADD32rr %ebx, %ecx\n")),
+              Category::Scalar);
+    EXPECT_EQ(classifyBlock(parseBlock(
+                  "VADDPS128rr %xmm1, %xmm2, %xmm3\n")),
+              Category::Vec);
+    EXPECT_EQ(classifyBlock(parseBlock(
+                  "ADD32rr %ebx, %ecx\n"
+                  "VADDPS128rr %xmm1, %xmm2, %xmm3\n")),
+              Category::ScalarVec);
+    EXPECT_EQ(classifyBlock(parseBlock("MOV64rm 0(%rsi), %rbx\n")),
+              Category::Ld);
+    EXPECT_EQ(classifyBlock(parseBlock("MOV64mr %rbx, 0(%rsi)\n")),
+              Category::St);
+    EXPECT_EQ(classifyBlock(parseBlock(
+                  "MOV64rm 0(%rsi), %rbx\nMOV64mr %rbx, 8(%rsi)\n")),
+              Category::LdSt);
+    EXPECT_EQ(classifyBlock(parseBlock("ADD32mr 0(%rsi), %ebx\n")),
+              Category::LdSt);
+}
+
+TEST(Corpus, GeneratesRequestedSize)
+{
+    Corpus corpus = Corpus::generate(500, 42);
+    EXPECT_GE(corpus.size(), 450u);
+    EXPECT_LE(corpus.size(), 500u);
+}
+
+TEST(Corpus, Deterministic)
+{
+    Corpus a = Corpus::generate(200, 7);
+    Corpus b = Corpus::generate(200, 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].block.hash(), b[i].block.hash());
+}
+
+TEST(Corpus, BlocksAreUnique)
+{
+    Corpus corpus = Corpus::generate(800, 11);
+    std::set<uint64_t> hashes;
+    for (const auto &info : corpus.blocks())
+        hashes.insert(info.block.hash());
+    EXPECT_EQ(hashes.size(), corpus.size());
+}
+
+TEST(Corpus, EveryBlockHasAppAndCategory)
+{
+    Corpus corpus = Corpus::generate(400, 13);
+    for (const auto &info : corpus.blocks()) {
+        EXPECT_NE(info.appMask, 0);
+        EXPECT_LT(int(info.category), numCategories);
+        EXPECT_EQ(info.category, classifyBlock(info.block));
+    }
+}
+
+TEST(Corpus, ClangDominatesShares)
+{
+    Corpus corpus = Corpus::generate(2000, 17);
+    size_t clang = 0;
+    for (const auto &info : corpus.blocks())
+        clang += info.fromApp(App::Clang);
+    EXPECT_GT(clang, corpus.size() / 3);
+}
+
+TEST(Dataset, SplitProportionsAndDisjointness)
+{
+    Corpus corpus = Corpus::generate(600, 3);
+    Dataset dataset(corpus, hw::Uarch::Haswell);
+    const size_t n = corpus.size();
+    EXPECT_NEAR(double(dataset.train().size()), 0.8 * n, 2.0);
+    EXPECT_NEAR(double(dataset.valid().size()), 0.1 * n, 2.0);
+    EXPECT_EQ(dataset.train().size() + dataset.valid().size() +
+                  dataset.test().size(),
+              n);
+
+    std::set<uint32_t> seen;
+    for (const auto &entry : dataset.train())
+        EXPECT_TRUE(seen.insert(entry.blockIdx).second);
+    for (const auto &entry : dataset.valid())
+        EXPECT_TRUE(seen.insert(entry.blockIdx).second);
+    for (const auto &entry : dataset.test())
+        EXPECT_TRUE(seen.insert(entry.blockIdx).second);
+}
+
+TEST(Dataset, SameSplitAcrossUarches)
+{
+    Corpus corpus = Corpus::generate(300, 5);
+    Dataset hsw(corpus, hw::Uarch::Haswell);
+    Dataset zen(corpus, hw::Uarch::Zen2);
+    ASSERT_EQ(hsw.test().size(), zen.test().size());
+    for (size_t i = 0; i < hsw.test().size(); ++i)
+        EXPECT_EQ(hsw.test()[i].blockIdx, zen.test()[i].blockIdx);
+}
+
+TEST(Dataset, TimingsMatchRefMachine)
+{
+    Corpus corpus = Corpus::generate(100, 9);
+    Dataset dataset(corpus, hw::Uarch::Skylake);
+    hw::RefMachine machine(hw::Uarch::Skylake);
+    for (const auto &entry : dataset.test())
+        EXPECT_DOUBLE_EQ(entry.timing,
+                         machine.measure(dataset.block(entry)));
+}
+
+TEST(Dataset, TimingsPositive)
+{
+    Corpus corpus = Corpus::generate(300, 21);
+    Dataset dataset(corpus, hw::Uarch::IvyBridge);
+    for (const auto &entry : dataset.train())
+        EXPECT_GT(entry.timing, 0.0);
+}
+
+TEST(Summary, TableIIIShape)
+{
+    Corpus corpus = Corpus::generate(1000, 23);
+    Dataset hsw(corpus, hw::Uarch::Haswell);
+    Dataset zen(corpus, hw::Uarch::Zen2);
+    DatasetSummary summary = summarize(corpus, {&hsw, &zen});
+
+    EXPECT_EQ(summary.trainBlocks, hsw.train().size());
+    EXPECT_GE(summary.minLength, 1u);
+    EXPECT_LE(summary.medianLength, summary.meanLength + 2);
+    // BHive-like skew: median ~3, mean ~5.
+    EXPECT_NEAR(summary.medianLength, 3.0, 1.5);
+    EXPECT_NEAR(summary.meanLength, 5.0, 2.0);
+    EXPECT_GE(summary.trainOpcodes, summary.testOpcodes);
+    EXPECT_LE(summary.totalOpcodes, isa::theIsa().numOpcodes());
+    ASSERT_EQ(summary.medianTimings.size(), 2u);
+    EXPECT_GT(summary.medianTimings[0].second, 10.0);
+}
+
+} // namespace
+} // namespace difftune::bhive

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Cross-module integration tests: the calibration contract between
+ * the default tables, the reference machine and the simulators, plus
+ * end-to-end determinism of the data path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analytical/iaca.hh"
+#include "base/random.hh"
+#include "bhive/dataset.hh"
+#include "core/evaluate.hh"
+#include "hw/default_table.hh"
+#include "mca/xmca.hh"
+#include "params/sampling.hh"
+#include "usim/usim.hh"
+
+namespace difftune
+{
+namespace
+{
+
+const bhive::Corpus &
+corpus()
+{
+    static const bhive::Corpus c = bhive::Corpus::generate(800, 2026);
+    return c;
+}
+
+class UarchTest : public ::testing::TestWithParam<hw::Uarch>
+{
+};
+
+TEST_P(UarchTest, DefaultErrorInPaperBand)
+{
+    // The expert defaults must land in the band the paper reports for
+    // llvm-mca (25-42% at our scale), and must order blocks well.
+    bhive::Dataset dataset(corpus(), GetParam());
+    mca::XMca sim;
+    auto eval = core::evaluate(sim, hw::defaultTable(GetParam()),
+                               dataset, dataset.test());
+    EXPECT_GT(eval.error, 0.10) << hw::uarchName(GetParam());
+    EXPECT_LT(eval.error, 0.60) << hw::uarchName(GetParam());
+    EXPECT_GT(eval.kendallTau, 0.55) << hw::uarchName(GetParam());
+}
+
+TEST_P(UarchTest, RandomTablesAreFarWorseThanDefaults)
+{
+    bhive::Dataset dataset(corpus(), GetParam());
+    mca::XMca sim;
+    auto def = hw::defaultTable(GetParam());
+    auto def_eval =
+        core::evaluate(sim, def, dataset, dataset.valid());
+    Rng rng(9);
+    auto random_table =
+        params::SamplingDist::full().sample(rng, def);
+    auto rnd_eval =
+        core::evaluate(sim, random_table, dataset, dataset.valid());
+    EXPECT_GT(rnd_eval.error, def_eval.error * 1.5);
+}
+
+TEST_P(UarchTest, UsimDefaultWorseThanXMca)
+{
+    // Appendix A shape: llvm_sim's default error (61.3%) is far above
+    // llvm-mca's (25.0%).
+    bhive::Dataset dataset(corpus(), GetParam());
+    auto def = hw::defaultTable(GetParam());
+    mca::XMca xmca;
+    usim::USim usim_sim;
+    auto mca_eval =
+        core::evaluate(xmca, def, dataset, dataset.valid());
+    auto usim_eval =
+        core::evaluate(usim_sim, def, dataset, dataset.valid());
+    EXPECT_GT(usim_eval.error, mca_eval.error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllUarches, UarchTest,
+    ::testing::ValuesIn(hw::allUarches()),
+    [](const auto &info) { return hw::uarchName(info.param); });
+
+TEST(Integration, AnalyticalBeatsDefaultsOnIntel)
+{
+    // Table IV ordering: the analytical model (which knows about
+    // idioms, elimination and forwarding) sits below the simulator
+    // defaults in error.
+    for (hw::Uarch uarch :
+         {hw::Uarch::IvyBridge, hw::Uarch::Haswell,
+          hw::Uarch::Skylake}) {
+        bhive::Dataset dataset(corpus(), uarch);
+        mca::XMca sim;
+        auto def_eval = core::evaluate(
+            sim, hw::defaultTable(uarch), dataset, dataset.test());
+        analytical::XIaca iaca(uarch);
+        std::vector<double> preds;
+        for (const auto &entry : dataset.test())
+            preds.push_back(iaca.timing(dataset.block(entry)));
+        auto iaca_eval = core::evaluatePredictions(std::move(preds),
+                                                   dataset.test());
+        EXPECT_LT(iaca_eval.error, def_eval.error)
+            << hw::uarchName(uarch);
+    }
+}
+
+TEST(Integration, DatasetPipelineIsDeterministic)
+{
+    bhive::Dataset a(corpus(), hw::Uarch::Haswell);
+    bhive::Dataset b(corpus(), hw::Uarch::Haswell);
+    ASSERT_EQ(a.train().size(), b.train().size());
+    for (size_t i = 0; i < a.train().size(); ++i) {
+        EXPECT_EQ(a.train()[i].blockIdx, b.train()[i].blockIdx);
+        EXPECT_DOUBLE_EQ(a.train()[i].timing, b.train()[i].timing);
+    }
+}
+
+TEST(Integration, EvaluationIsDeterministicUnderParallelism)
+{
+    bhive::Dataset dataset(corpus(), hw::Uarch::Skylake);
+    mca::XMca sim;
+    auto def = hw::defaultTable(hw::Uarch::Skylake);
+    auto a = core::evaluate(sim, def, dataset, dataset.test());
+    auto b = core::evaluate(sim, def, dataset, dataset.test());
+    EXPECT_EQ(a.predictions, b.predictions);
+    EXPECT_DOUBLE_EQ(a.error, b.error);
+}
+
+TEST(Integration, ZenDefaultsWorstOfTheFour)
+{
+    // The paper's Zen 2 default error (34.9%, via znver1 tables) is
+    // the highest of the four; our mismatched AMD documentation
+    // reproduces that ordering against the Intel average.
+    mca::XMca sim;
+    double intel_total = 0.0;
+    for (hw::Uarch uarch :
+         {hw::Uarch::IvyBridge, hw::Uarch::Haswell,
+          hw::Uarch::Skylake}) {
+        bhive::Dataset dataset(corpus(), uarch);
+        intel_total += core::evaluate(sim, hw::defaultTable(uarch),
+                                      dataset, dataset.test())
+                           .error;
+    }
+    bhive::Dataset zen(corpus(), hw::Uarch::Zen2);
+    const double zen_err =
+        core::evaluate(sim, hw::defaultTable(hw::Uarch::Zen2), zen,
+                       zen.test())
+            .error;
+    EXPECT_GT(zen_err, intel_total / 3.0);
+}
+
+} // namespace
+} // namespace difftune

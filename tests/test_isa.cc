@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Unit and property tests for the synthetic ISA: opcode registry,
+ * instruction construction semantics, printing/parsing round-trips
+ * and token encoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "isa/isa.hh"
+#include "isa/parse.hh"
+#include "isa/tokens.hh"
+
+namespace difftune::isa
+{
+namespace
+{
+
+// -------------------------------------------------------------- registers
+
+TEST(Registers, NamesRoundTrip)
+{
+    EXPECT_EQ(regFromName("rax"), RegId(0));
+    EXPECT_EQ(regFromName("eax"), RegId(0));
+    EXPECT_EQ(regFromName("rsp"), stackPointer);
+    EXPECT_EQ(regFromName("xmm3"), RegId(firstVec + 3));
+    EXPECT_EQ(regFromName("ymm3"), RegId(firstVec + 3));
+    EXPECT_EQ(regFromName("flags"), flagsReg);
+    EXPECT_EQ(regFromName("nope"), invalidReg);
+}
+
+TEST(Registers, NameWidths)
+{
+    EXPECT_EQ(regName(0, 64), "rax");
+    EXPECT_EQ(regName(0, 32), "eax");
+    EXPECT_EQ(regName(firstVec, 128), "xmm0");
+    EXPECT_EQ(regName(firstVec, 256), "ymm0");
+}
+
+TEST(Registers, Classes)
+{
+    EXPECT_EQ(regClass(3), RegClass::Gpr);
+    EXPECT_EQ(regClass(firstVec + 1), RegClass::Vec);
+    EXPECT_EQ(regClass(flagsReg), RegClass::Flags);
+    EXPECT_TRUE(isGpr(5));
+    EXPECT_FALSE(isGpr(firstVec));
+    EXPECT_TRUE(isVec(firstVec + 15));
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(Isa, TableSizeIsStable)
+{
+    // ~200 opcodes as designed; exact count is part of the public
+    // contract because parameter-table layouts depend on it.
+    EXPECT_EQ(theIsa().numOpcodes(), 201u);
+}
+
+TEST(Isa, LookupByName)
+{
+    const Isa &isa = theIsa();
+    for (const char *name :
+         {"ADD32rr", "XOR32rr", "PUSH64r", "SHR64mi", "MOV64rm",
+          "VFMADD256rr", "DIV64r", "NOP", "LEA64r"}) {
+        EXPECT_NE(isa.opcodeByName(name), invalidOpcode) << name;
+    }
+    EXPECT_EQ(isa.opcodeByName("BOGUS"), invalidOpcode);
+}
+
+TEST(Isa, NamesAreUnique)
+{
+    const Isa &isa = theIsa();
+    for (OpcodeId id = 0; id < isa.numOpcodes(); ++id)
+        EXPECT_EQ(isa.opcodeByName(isa.info(id).name), id);
+}
+
+TEST(Isa, ClassQueries)
+{
+    const Isa &isa = theIsa();
+    EXPECT_FALSE(isa.opcodesOfClass(OpClass::IntAlu).empty());
+    EXPECT_FALSE(isa.opcodesOfClass(OpClass::VecFma).empty());
+    EXPECT_FALSE(isa.opcodesWithMem(MemMode::LoadStore).empty());
+    for (OpcodeId id : isa.opcodesOfClass(OpClass::IntDiv))
+        EXPECT_TRUE(isa.info(id).usesRaxRdx);
+}
+
+TEST(Isa, ZeroIdiomFlags)
+{
+    const Isa &isa = theIsa();
+    EXPECT_TRUE(isa.info(isa.opcodeByName("XOR32rr")).zeroIdiom);
+    EXPECT_TRUE(isa.info(isa.opcodeByName("SUB64rr")).zeroIdiom);
+    EXPECT_TRUE(isa.info(isa.opcodeByName("VPXOR128rr")).zeroIdiom);
+    EXPECT_FALSE(isa.info(isa.opcodeByName("ADD32rr")).zeroIdiom);
+}
+
+TEST(Isa, PureMoveFlags)
+{
+    const Isa &isa = theIsa();
+    EXPECT_TRUE(isa.info(isa.opcodeByName("MOV64rr")).pureMove);
+    EXPECT_TRUE(isa.info(isa.opcodeByName("VMOVAPS128rr")).pureMove);
+    EXPECT_FALSE(isa.info(isa.opcodeByName("MOVSX64rr32")).pureMove);
+    EXPECT_FALSE(isa.info(isa.opcodeByName("MOV64rm")).pureMove);
+}
+
+// ----------------------------------------------------------- construction
+
+Instruction
+make(const char *name, std::vector<RegId> slots, MemRef mem = {},
+     int64_t imm = 0)
+{
+    OpcodeId op = theIsa().opcodeByName(name);
+    EXPECT_NE(op, invalidOpcode) << name;
+    return makeInstruction(op, std::move(slots), mem, imm);
+}
+
+bool
+reads(const Instruction &inst, RegId reg)
+{
+    return std::count(inst.reads.begin(), inst.reads.end(), reg) > 0;
+}
+
+bool
+writes(const Instruction &inst, RegId reg)
+{
+    return std::count(inst.writes.begin(), inst.writes.end(), reg) > 0;
+}
+
+TEST(MakeInstruction, RmwForm)
+{
+    auto inst = make("ADD32rr", {1, 2});
+    EXPECT_TRUE(reads(inst, 1));
+    EXPECT_TRUE(reads(inst, 2));
+    EXPECT_TRUE(writes(inst, 1));
+    EXPECT_FALSE(writes(inst, 2));
+    EXPECT_TRUE(writes(inst, flagsReg));
+}
+
+TEST(MakeInstruction, CompareWritesOnlyFlags)
+{
+    auto inst = make("CMP64rr", {1, 2});
+    EXPECT_TRUE(reads(inst, 1));
+    EXPECT_TRUE(reads(inst, 2));
+    EXPECT_EQ(inst.writes.size(), 1u);
+    EXPECT_TRUE(writes(inst, flagsReg));
+}
+
+TEST(MakeInstruction, LoadReadsBase)
+{
+    auto inst = make("MOV64rm", {4}, MemRef{5, 16});
+    EXPECT_TRUE(reads(inst, 5));
+    EXPECT_TRUE(writes(inst, 4));
+    EXPECT_EQ(inst.mem.base, 5);
+    EXPECT_EQ(inst.mem.disp, 16);
+}
+
+TEST(MakeInstruction, StoreReadsValueAndBase)
+{
+    auto inst = make("MOV64mr", {4}, MemRef{5, 0});
+    EXPECT_TRUE(reads(inst, 4));
+    EXPECT_TRUE(reads(inst, 5));
+    EXPECT_TRUE(inst.writes.empty());
+}
+
+TEST(MakeInstruction, PushImplicitRsp)
+{
+    auto inst = make("PUSH64r", {1});
+    EXPECT_TRUE(reads(inst, 1));
+    EXPECT_TRUE(reads(inst, stackPointer));
+    EXPECT_TRUE(writes(inst, stackPointer));
+    EXPECT_EQ(inst.mem.base, stackPointer);
+}
+
+TEST(MakeInstruction, DivImplicitRaxRdx)
+{
+    auto inst = make("DIV64r", {6});
+    EXPECT_TRUE(reads(inst, 0));
+    EXPECT_TRUE(reads(inst, 3));
+    EXPECT_TRUE(writes(inst, 0));
+    EXPECT_TRUE(writes(inst, 3));
+}
+
+TEST(MakeInstruction, FlagConsumerReadsFlags)
+{
+    auto inst = make("CMOV64rr", {1, 2});
+    EXPECT_TRUE(reads(inst, flagsReg));
+}
+
+TEST(MakeInstruction, ZeroIdiomDetection)
+{
+    EXPECT_TRUE(make("XOR32rr", {3, 3}).isZeroIdiom());
+    EXPECT_FALSE(make("XOR32rr", {3, 4}).isZeroIdiom());
+    // Vector three-operand form: idiom when the two sources match.
+    EXPECT_TRUE(
+        make("VPXOR128rr", {RegId(firstVec), RegId(firstVec + 1),
+                            RegId(firstVec + 1)})
+            .isZeroIdiom());
+    EXPECT_FALSE(
+        make("VPXOR128rr", {RegId(firstVec), RegId(firstVec + 1),
+                            RegId(firstVec + 2)})
+            .isZeroIdiom());
+    // Zero idioms must KEEP their reads (llvm-mca's view).
+    EXPECT_FALSE(make("XOR32rr", {3, 3}).reads.empty());
+}
+
+TEST(MakeInstruction, WrongSlotCountPanics)
+{
+    OpcodeId op = theIsa().opcodeByName("ADD32rr");
+    EXPECT_DEATH(makeInstruction(op, {1}), "register operands");
+}
+
+TEST(BasicBlock, HashDiscriminates)
+{
+    BasicBlock a, b;
+    a.insts.push_back(make("ADD32rr", {1, 2}));
+    b.insts.push_back(make("ADD32rr", {1, 3}));
+    EXPECT_NE(a.hash(), b.hash());
+    BasicBlock c;
+    c.insts.push_back(make("ADD32rr", {1, 2}));
+    EXPECT_EQ(a.hash(), c.hash());
+}
+
+// -------------------------------------------------- print/parse round-trip
+
+/** Pick plausible slot registers for an opcode. */
+std::vector<RegId>
+defaultSlots(const OpcodeInfo &op)
+{
+    std::vector<RegId> slots;
+    for (size_t i = 0; i < op.numRegOps(); ++i)
+        slots.push_back(op.isVector ? RegId(firstVec + 1 + i)
+                                    : RegId(1 + i));
+    return slots;
+}
+
+class RoundTripTest : public ::testing::TestWithParam<OpcodeId>
+{
+};
+
+TEST_P(RoundTripTest, PrintParsePreservesInstruction)
+{
+    const OpcodeInfo &op = theIsa().info(GetParam());
+    MemRef mem;
+    if (op.mem != MemMode::None && !op.stackOp)
+        mem = MemRef{2, 24};
+    int64_t imm = op.hasImm ? 7 : 0;
+    if (op.opClass == OpClass::Shift)
+        imm = op.hasImm ? 3 : 0;
+    Instruction inst =
+        makeInstruction(GetParam(), defaultSlots(op), mem, imm);
+    Instruction reparsed = parseInstruction(toString(inst));
+    EXPECT_EQ(reparsed.opcode, inst.opcode) << toString(inst);
+    EXPECT_EQ(reparsed.slots, inst.slots) << toString(inst);
+    EXPECT_EQ(reparsed.reads, inst.reads) << toString(inst);
+    EXPECT_EQ(reparsed.writes, inst.writes) << toString(inst);
+    EXPECT_EQ(reparsed.imm, inst.imm) << toString(inst);
+    EXPECT_EQ(reparsed.mem.base, inst.mem.base) << toString(inst);
+    EXPECT_EQ(reparsed.mem.disp, inst.mem.disp) << toString(inst);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, RoundTripTest,
+    ::testing::Range(OpcodeId(0), OpcodeId(theIsa().numOpcodes())),
+    [](const auto &info) { return theIsa().info(info.param).name; });
+
+TEST(Parse, BlockSkipsCommentsAndBlanks)
+{
+    BasicBlock block = parseBlock("# comment\n\nADD32rr %ebx, %ecx\n");
+    EXPECT_EQ(block.size(), 1u);
+}
+
+TEST(Parse, RejectsUnknownOpcode)
+{
+    EXPECT_THROW(parseInstruction("FROB %eax"), std::runtime_error);
+}
+
+TEST(Parse, RejectsMissingOperand)
+{
+    EXPECT_THROW(parseInstruction("ADD32rr %eax"), std::runtime_error);
+}
+
+TEST(Parse, RejectsUnknownRegister)
+{
+    EXPECT_THROW(parseInstruction("ADD32rr %eax, %zzz"),
+                 std::runtime_error);
+}
+
+// ----------------------------------------------------------------- tokens
+
+TEST(Tokens, VocabLayout)
+{
+    const TokenVocab &vocab = theVocab();
+    EXPECT_EQ(vocab.size(), theIsa().numOpcodes() + numRegs + 5);
+    EXPECT_EQ(vocab.opcodeToken(5), 5);
+    EXPECT_EQ(vocab.regToken(0), TokenId(theIsa().numOpcodes()));
+}
+
+TEST(Tokens, EncodeShape)
+{
+    auto inst = make("ADD32rr", {1, 2});
+    auto tokens = theVocab().encode(inst);
+    // opcode, <S>, r1, r2, <D>, r1, flags, <E>
+    EXPECT_EQ(tokens.size(), 8u);
+    EXPECT_EQ(tokens.front(), theVocab().opcodeToken(inst.opcode));
+    EXPECT_EQ(tokens.back(), theVocab().endMarker());
+}
+
+TEST(Tokens, MemAndImmTokens)
+{
+    auto inst = make("ADD32mi", {}, MemRef{2, 8}, 5);
+    auto tokens = theVocab().encode(inst);
+    EXPECT_NE(std::find(tokens.begin(), tokens.end(),
+                        theVocab().memToken()),
+              tokens.end());
+    EXPECT_NE(std::find(tokens.begin(), tokens.end(),
+                        theVocab().constToken()),
+              tokens.end());
+}
+
+TEST(Tokens, BlockEncoding)
+{
+    BasicBlock block = parseBlock("ADD32rr %ebx, %ecx\nNOP\n");
+    auto encoded = theVocab().encode(block);
+    EXPECT_EQ(encoded.size(), 2u);
+    // Every token in range.
+    for (const auto &seq : encoded)
+        for (TokenId t : seq) {
+            EXPECT_GE(t, 0);
+            EXPECT_LT(size_t(t), theVocab().size());
+        }
+}
+
+} // namespace
+} // namespace difftune::isa

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Tests for the XMca simulator: stage semantics (dispatch bandwidth,
+ * reorder-buffer stalls, dependence latencies, ReadAdvance clipping,
+ * port occupancy, store ordering) plus property tests (monotonicity,
+ * determinism, trace invariants).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/parse.hh"
+#include "mca/xmca.hh"
+
+namespace difftune::mca
+{
+namespace
+{
+
+using isa::parseBlock;
+using params::ParamTable;
+
+/** A neutral table: 1 uop, 1-cycle latency, no ports, dw 4, rob 192. */
+ParamTable
+neutralTable()
+{
+    ParamTable table(isa::theIsa().numOpcodes());
+    for (auto &inst : table.perOpcode) {
+        inst.numMicroOps = 1;
+        inst.writeLatency = 1;
+    }
+    table.dispatchWidth = 4;
+    table.reorderBufferSize = 192;
+    return table;
+}
+
+isa::OpcodeId
+op(const char *name)
+{
+    auto id = isa::theIsa().opcodeByName(name);
+    EXPECT_NE(id, isa::invalidOpcode);
+    return id;
+}
+
+TEST(XMca, EmptyBlockIsZero)
+{
+    XMca sim;
+    EXPECT_EQ(sim.timing(isa::BasicBlock{}, neutralTable()), 0.0);
+}
+
+TEST(XMca, DispatchBound)
+{
+    // Independent single-uop instructions: bounded by DispatchWidth.
+    auto block = parseBlock("NOP\nNOP\nNOP\nNOP\n");
+    auto table = neutralTable();
+    table.perOpcode[op("NOP")].writeLatency = 0;
+    XMca sim;
+    table.dispatchWidth = 4;
+    EXPECT_NEAR(sim.timing(block, table), 1.0, 0.05);
+    table.dispatchWidth = 2;
+    EXPECT_NEAR(sim.timing(block, table), 2.0, 0.05);
+    table.dispatchWidth = 1;
+    EXPECT_NEAR(sim.timing(block, table), 4.0, 0.05);
+}
+
+TEST(XMca, UopsConsumeDispatchBandwidth)
+{
+    auto block = parseBlock("NOP\n");
+    auto table = neutralTable();
+    table.perOpcode[op("NOP")].writeLatency = 0;
+    table.perOpcode[op("NOP")].numMicroOps = 8;
+    table.dispatchWidth = 4;
+    XMca sim;
+    EXPECT_NEAR(sim.timing(block, table), 2.0, 0.05);
+}
+
+TEST(XMca, DependenceChainLatency)
+{
+    // add %ebx, %ecx self-chains through %ebx at WriteLatency.
+    auto block = parseBlock("ADD32rr %ebx, %ecx\n");
+    auto table = neutralTable();
+    XMca sim;
+    for (int latency : {1, 2, 5, 9}) {
+        table.perOpcode[op("ADD32rr")].writeLatency = latency;
+        EXPECT_NEAR(sim.timing(block, table), double(latency), 0.1)
+            << "latency " << latency;
+    }
+}
+
+TEST(XMca, ReadAdvanceAcceleratesChains)
+{
+    auto block = parseBlock("ADD32rr %ebx, %ecx\n");
+    auto table = neutralTable();
+    table.perOpcode[op("ADD32rr")].writeLatency = 5;
+    table.perOpcode[op("ADD32rr")].readAdvance[0] = 3;
+    XMca sim;
+    EXPECT_NEAR(sim.timing(block, table), 2.0, 0.1);
+}
+
+TEST(XMca, ReadAdvanceClipsAtZero)
+{
+    // Footnote 7: latency - advance clips at zero, never negative.
+    auto block = parseBlock("ADD32rr %ebx, %ecx\n");
+    auto table = neutralTable();
+    table.perOpcode[op("ADD32rr")].writeLatency = 2;
+    table.perOpcode[op("ADD32rr")].readAdvance[0] = 50;
+    XMca sim;
+    // Chain latency 0: bounded by dispatch only (1 uop / 4 wide).
+    EXPECT_LE(sim.timing(block, table), 0.5);
+}
+
+TEST(XMca, PortOccupancySerializes)
+{
+    auto block = parseBlock("NOP\n");
+    auto table = neutralTable();
+    table.perOpcode[op("NOP")].writeLatency = 0;
+    table.perOpcode[op("NOP")].portMap[3] = 2;
+    XMca sim;
+    // One instruction every 2 cycles on port 3.
+    EXPECT_NEAR(sim.timing(block, table), 2.0, 0.05);
+}
+
+TEST(XMca, JointPortsMustBeFreeTogether)
+{
+    auto block = parseBlock("NOP\nNOP\n");
+    auto table = neutralTable();
+    table.perOpcode[op("NOP")].writeLatency = 0;
+    table.perOpcode[op("NOP")].portMap[0] = 1;
+    table.perOpcode[op("NOP")].portMap[1] = 1;
+    XMca sim;
+    // Both NOPs need ports 0+1 together: 1 per cycle.
+    EXPECT_NEAR(sim.timing(block, table), 2.0, 0.1);
+}
+
+TEST(XMca, RobStallsDispatch)
+{
+    // Independent long-latency loads: with a roomy ROB they pipeline
+    // at the dispatch rate; with a tiny ROB only a few can be in
+    // flight, so dispatch throttles to the retire rate.
+    auto block = parseBlock("MOV64rm 0(%rsi), %rdi\n");
+    auto table = neutralTable();
+    table.perOpcode[op("MOV64rm")].writeLatency = 20;
+    XMca sim;
+    table.reorderBufferSize = 200;
+    const double roomy = sim.timing(block, table);
+    EXPECT_NEAR(roomy, 0.25, 0.3); // dispatch-bound
+    table.reorderBufferSize = 4;
+    const double cramped = sim.timing(block, table);
+    EXPECT_GT(cramped, roomy * 3.0); // ~20/4 cycles per load
+}
+
+TEST(XMca, WideInstructionFitsEmptyRob)
+{
+    auto block = parseBlock("NOP\n");
+    auto table = neutralTable();
+    table.perOpcode[op("NOP")].numMicroOps = 10;
+    table.perOpcode[op("NOP")].writeLatency = 0;
+    table.reorderBufferSize = 4; // smaller than the instruction
+    XMca sim;
+    EXPECT_GT(sim.timing(block, table), 0.0); // must not hang/panic
+}
+
+TEST(XMca, StoresIssueInOrder)
+{
+    auto block = parseBlock(
+        "MOV64mr %rbx, 0(%rsi)\n"
+        "MOV64mr %rcx, 8(%rsi)\n");
+    auto table = neutralTable();
+    // Make the first store's data late via a long producer chain.
+    auto block2 = parseBlock(
+        "IMUL64rr %rbx, %rbx\n"
+        "MOV64mr %rbx, 0(%rsi)\n"
+        "MOV64mr %rcx, 8(%rsi)\n");
+    table.perOpcode[op("IMUL64rr")].writeLatency = 10;
+    XMca sim;
+    Trace trace;
+    sim.timingWithTrace(block2, table, trace);
+    // Within each iteration the second store never issues before the
+    // first (LSUnit store->store ordering).
+    for (size_t i = 0; i + 2 < trace.entries.size(); i += 3)
+        EXPECT_LE(trace.entries[i + 1].issued,
+                  trace.entries[i + 2].issued);
+    (void)block;
+}
+
+TEST(XMca, TraceInvariants)
+{
+    auto block = parseBlock(
+        "ADD32rr %ebx, %ecx\n"
+        "MOV64rm 8(%rsi), %rdi\n"
+        "PUSH64r %rbx\n");
+    auto table = neutralTable();
+    XMca sim(25);
+    Trace trace;
+    const double timing = sim.timingWithTrace(block, table, trace);
+    EXPECT_EQ(trace.entries.size(), block.size() * 25);
+    EXPECT_NEAR(timing, double(trace.totalCycles) / 25.0, 1e-9);
+    int64_t prev_dispatch = 0, prev_retire = 0;
+    for (const auto &entry : trace.entries) {
+        EXPECT_LE(entry.dispatched, entry.issued);
+        EXPECT_LE(entry.issued, entry.retired);
+        // Program-order dispatch and retire are monotone.
+        EXPECT_GE(entry.dispatched, prev_dispatch);
+        EXPECT_GE(entry.retired, prev_retire);
+        prev_dispatch = entry.dispatched;
+        prev_retire = entry.retired;
+    }
+}
+
+TEST(XMca, Deterministic)
+{
+    auto block = parseBlock(
+        "ADD32rr %ebx, %ecx\nSHR32ri $3, %ebx\nMOV64rm 8(%rsi), %rdi\n");
+    auto table = neutralTable();
+    XMca sim;
+    EXPECT_EQ(sim.timing(block, table), sim.timing(block, table));
+}
+
+TEST(XMca, TimingScalesWithIterations)
+{
+    auto block = parseBlock("ADD32rr %ebx, %ecx\n");
+    auto table = neutralTable();
+    XMca sim100(100), sim10(10);
+    // Steady-state: per-iteration timing roughly independent of the
+    // iteration count.
+    EXPECT_NEAR(sim100.timing(block, table), sim10.timing(block, table),
+                0.5);
+}
+
+// ------------------------------------------------------ property sweeps
+
+class LatencyMonotoneTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LatencyMonotoneTest, TimingNonDecreasingInWriteLatency)
+{
+    auto block = parseBlock(
+        "ADD32rr %ebx, %ecx\nSUB32rr %ecx, %ebx\nIMUL32rr %ebx, %ecx\n");
+    auto table = neutralTable();
+    XMca sim;
+    const int latency = GetParam();
+    table.perOpcode[op("ADD32rr")].writeLatency = latency;
+    const double t1 = sim.timing(block, table);
+    table.perOpcode[op("ADD32rr")].writeLatency = latency + 1;
+    const double t2 = sim.timing(block, table);
+    EXPECT_LE(t1, t2 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Latencies, LatencyMonotoneTest,
+                         ::testing::Values(0, 1, 2, 4, 8, 16));
+
+class DispatchMonotoneTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DispatchMonotoneTest, TimingNonIncreasingInDispatchWidth)
+{
+    auto block = parseBlock(
+        "NOP\nNOP\nADD32rr %ebx, %ecx\nMOV32ri $7, %edi\nNOP\n");
+    auto table = neutralTable();
+    XMca sim;
+    table.dispatchWidth = GetParam();
+    const double narrow = sim.timing(block, table);
+    table.dispatchWidth = GetParam() + 1;
+    const double wide = sim.timing(block, table);
+    EXPECT_GE(narrow, wide - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DispatchMonotoneTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+TEST(XMca, Figure2Shape)
+{
+    // The Figure 2 block: shrq $5, 16(%rsp). With the default-like
+    // 4 uops, timing should fall as 4/dw and plateau at the store
+    // port bound of 1.
+    auto block = parseBlock("SHR64mi $5, 0(%rsp)\n");
+    auto table = neutralTable();
+    auto id = op("SHR64mi");
+    table.perOpcode[id].numMicroOps = 4;
+    table.perOpcode[id].writeLatency = 2;
+    table.perOpcode[id].portMap[4] = 1;
+    XMca sim;
+    std::vector<double> timings;
+    for (int dw = 1; dw <= 10; ++dw) {
+        table.dispatchWidth = dw;
+        timings.push_back(sim.timing(block, table));
+    }
+    EXPECT_NEAR(timings[0], 4.0, 0.1); // dw=1
+    EXPECT_NEAR(timings[1], 2.0, 0.1); // dw=2
+    EXPECT_NEAR(timings[3], 1.0, 0.1); // dw=4
+    EXPECT_NEAR(timings[9], 1.0, 0.1); // plateau
+}
+
+} // namespace
+} // namespace difftune::mca

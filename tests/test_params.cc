@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for parameter tables: flattening, extraction, constraints,
+ * serialization, masks and sampling distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "isa/isa.hh"
+#include "params/param_table.hh"
+#include "params/sampling.hh"
+
+namespace difftune::params
+{
+namespace
+{
+
+size_t
+numOps()
+{
+    return isa::theIsa().numOpcodes();
+}
+
+TEST(ParamTable, FlattenRoundTrip)
+{
+    ParamTable table(numOps());
+    table.dispatchWidth = 6;
+    table.reorderBufferSize = 100;
+    table.perOpcode[3].writeLatency = 4;
+    table.perOpcode[3].portMap[7] = 2;
+    table.perOpcode[10].readAdvance[1] = 5;
+
+    auto flat = table.flatten();
+    EXPECT_EQ(flat.size(), table.flatSize());
+    ParamTable back = ParamTable::unflatten(flat);
+    EXPECT_EQ(back.numOpcodes(), table.numOpcodes());
+    EXPECT_EQ(back.dispatchWidth, 6);
+    EXPECT_EQ(back.perOpcode[3].writeLatency, 4);
+    EXPECT_EQ(back.perOpcode[3].portMap[7], 2);
+    EXPECT_EQ(back.perOpcode[10].readAdvance[1], 5);
+}
+
+TEST(ParamTable, FlatSize)
+{
+    ParamTable table(numOps());
+    EXPECT_EQ(table.flatSize(), numGlobalParams + numOps() * 15u);
+}
+
+TEST(ParamTable, ExtractRoundsAndClamps)
+{
+    ParamTable table(2);
+    table.dispatchWidth = -3.2;
+    table.reorderBufferSize = 80.6;
+    table.perOpcode[0].numMicroOps = 0.2;
+    table.perOpcode[0].writeLatency = 2.5;
+    table.perOpcode[1].portMap[0] = -0.4;
+
+    ParamTable valid = table.extractToValid();
+    EXPECT_EQ(valid.dispatchWidth, 1.0);   // clamped to >= 1
+    EXPECT_EQ(valid.reorderBufferSize, 81.0);
+    EXPECT_EQ(valid.perOpcode[0].numMicroOps, 1.0);
+    EXPECT_EQ(valid.perOpcode[0].writeLatency, 3.0); // round-half-up
+    EXPECT_EQ(valid.perOpcode[1].portMap[0], 0.0);
+}
+
+TEST(ParamTable, IntegerAccessorsClamp)
+{
+    ParamTable table(1);
+    table.perOpcode[0].numMicroOps = -5.0;
+    table.perOpcode[0].writeLatency = 2.4;
+    table.dispatchWidth = 0.0;
+    EXPECT_EQ(table.uops(0), 1);
+    EXPECT_EQ(table.latency(0), 2);
+    EXPECT_EQ(table.dispatch(), 1);
+}
+
+TEST(ParamTable, SaveLoadRoundTrip)
+{
+    ParamTable table(5);
+    table.dispatchWidth = 7;
+    table.perOpcode[2].writeLatency = 3.25;
+    table.perOpcode[4].portMap[9] = 1;
+    ParamTable back = ParamTable::load(table.save());
+    EXPECT_EQ(back.numOpcodes(), 5u);
+    EXPECT_EQ(back.dispatchWidth, 7);
+    EXPECT_EQ(back.perOpcode[2].writeLatency, 3.25);
+    EXPECT_EQ(back.perOpcode[4].portMap[9], 1);
+}
+
+TEST(ParamTable, LoadRejectsGarbage)
+{
+    EXPECT_THROW(ParamTable::load("not a table"), std::runtime_error);
+}
+
+TEST(ParamTable, Log10SpaceSizeGrowsWithValues)
+{
+    ParamTable small(10), large(10);
+    for (auto &inst : large.perOpcode) {
+        inst.writeLatency = 9;
+        inst.numMicroOps = 9;
+    }
+    EXPECT_GT(large.log10SpaceSize(), small.log10SpaceSize());
+}
+
+TEST(ParamTable, SpaceSizeMatchesPaperScale)
+{
+    // The default Haswell-like table should induce an astronomically
+    // large configuration space, as in the paper's footnote 2
+    // (10^19336 for llvm-mca; ours is smaller but still enormous).
+    ParamTable table(numOps());
+    for (auto &inst : table.perOpcode) {
+        inst.numMicroOps = 2;
+        inst.writeLatency = 3;
+        inst.portMap[0] = 1;
+    }
+    table.reorderBufferSize = 192;
+    EXPECT_GT(table.log10SpaceSize(), 100.0);
+}
+
+TEST(FlatLowerBounds, MatchTableII)
+{
+    auto bounds = flatLowerBounds(2);
+    EXPECT_EQ(bounds.size(), 2u + 2u * 15u);
+    EXPECT_EQ(bounds[0], 1.0); // DispatchWidth >= 1
+    EXPECT_EQ(bounds[1], 1.0); // ReorderBufferSize >= 1
+    EXPECT_EQ(bounds[2], 1.0); // NumMicroOps >= 1
+    EXPECT_EQ(bounds[3], 0.0); // WriteLatency >= 0
+}
+
+TEST(ParamMask, FlatLayout)
+{
+    auto mask = ParamMask::writeLatencyOnly().flat(2);
+    EXPECT_FALSE(mask[0]); // globals
+    EXPECT_FALSE(mask[2]); // uops
+    EXPECT_TRUE(mask[3]);  // write latency
+    EXPECT_FALSE(mask[4]); // read advance
+}
+
+TEST(ParamMask, ApplyMaskRestoresBase)
+{
+    ParamTable base(3), table(3);
+    base.dispatchWidth = 4;
+    base.perOpcode[1].numMicroOps = 2;
+    table.dispatchWidth = 9;
+    table.perOpcode[1].numMicroOps = 7;
+    table.perOpcode[1].writeLatency = 5;
+
+    applyMask(table, base, ParamMask::writeLatencyOnly());
+    EXPECT_EQ(table.dispatchWidth, 4);
+    EXPECT_EQ(table.perOpcode[1].numMicroOps, 2);
+    EXPECT_EQ(table.perOpcode[1].writeLatency, 5); // kept
+}
+
+TEST(ParamMask, UsimMask)
+{
+    ParamMask mask = ParamMask::usim();
+    EXPECT_TRUE(mask.writeLatency);
+    EXPECT_TRUE(mask.portMap);
+    EXPECT_FALSE(mask.numMicroOps);
+    EXPECT_FALSE(mask.globals);
+}
+
+// ----------------------------------------------------------- sampling
+
+class SamplingTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(SamplingTest, FullDistRespectsPaperRanges)
+{
+    Rng rng(GetParam());
+    ParamTable base(numOps());
+    ParamTable theta = SamplingDist::full().sample(rng, base);
+
+    EXPECT_GE(theta.dispatchWidth, 1);
+    EXPECT_LE(theta.dispatchWidth, 10);
+    EXPECT_GE(theta.reorderBufferSize, 50);
+    EXPECT_LE(theta.reorderBufferSize, 250);
+    for (const auto &inst : theta.perOpcode) {
+        EXPECT_GE(inst.writeLatency, 0);
+        EXPECT_LE(inst.writeLatency, 5);
+        EXPECT_GE(inst.numMicroOps, 1);
+        EXPECT_LE(inst.numMicroOps, 10);
+        int ports_used = 0;
+        for (double pc : inst.portMap) {
+            EXPECT_GE(pc, 0);
+            EXPECT_LE(pc, 2);
+            ports_used += pc > 0;
+        }
+        EXPECT_LE(ports_used, 2);
+        for (double ra : inst.readAdvance) {
+            EXPECT_GE(ra, 0);
+            EXPECT_LE(ra, 5);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SamplingTest,
+                         ::testing::Values(1, 2, 3, 42, 1234));
+
+TEST(Sampling, WriteLatencyOnlyKeepsBase)
+{
+    Rng rng(3);
+    ParamTable base(numOps());
+    base.dispatchWidth = 4;
+    base.perOpcode[5].numMicroOps = 3;
+    base.perOpcode[5].portMap[2] = 2;
+
+    auto dist = SamplingDist::writeLatencyOnly();
+    ParamTable theta = dist.sample(rng, base);
+    EXPECT_EQ(theta.dispatchWidth, 4);
+    EXPECT_EQ(theta.perOpcode[5].numMicroOps, 3);
+    EXPECT_EQ(theta.perOpcode[5].portMap[2], 2);
+    // WriteLatency resampled on {0..10}.
+    bool any_large = false;
+    for (const auto &inst : theta.perOpcode) {
+        EXPECT_LE(inst.writeLatency, 10);
+        any_large = any_large || inst.writeLatency > 5;
+    }
+    EXPECT_TRUE(any_large);
+}
+
+TEST(Sampling, Deterministic)
+{
+    ParamTable base(numOps());
+    Rng a(9), b(9);
+    auto ta = SamplingDist::full().sample(a, base);
+    auto tb = SamplingDist::full().sample(b, base);
+    EXPECT_EQ(ta.flatten(), tb.flatten());
+}
+
+TEST(Sampling, CoversDispatchRange)
+{
+    ParamTable base(numOps());
+    Rng rng(17);
+    std::set<int> widths;
+    for (int i = 0; i < 200; ++i)
+        widths.insert(
+            int(SamplingDist::full().sample(rng, base).dispatchWidth));
+    EXPECT_GE(widths.size(), 9u);
+}
+
+} // namespace
+} // namespace difftune::params

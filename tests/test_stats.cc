@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for metrics: MAPE, Kendall's tau (validated against a brute-
+ * force O(n^2) reference with ties), summary statistics, histograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/random.hh"
+#include "stats/histogram.hh"
+#include "stats/metrics.hh"
+
+namespace difftune::stats
+{
+namespace
+{
+
+TEST(Mape, Basics)
+{
+    EXPECT_DOUBLE_EQ(mape({1.0, 2.0}, {1.0, 2.0}), 0.0);
+    EXPECT_DOUBLE_EQ(mape({2.0}, {1.0}), 1.0);
+    EXPECT_DOUBLE_EQ(mape({0.5}, {1.0}), 0.5);
+    EXPECT_NEAR(mape({2.0, 3.0}, {1.0, 2.0}), 0.75, 1e-12);
+}
+
+TEST(Mape, CanExceedOneHundredPercent)
+{
+    // Paper note: error above 100% when predictions are much larger.
+    EXPECT_GT(mape({10.0}, {1.0}), 1.0);
+}
+
+TEST(Mape, SkipsZeroTruth)
+{
+    EXPECT_DOUBLE_EQ(mape({5.0, 2.0}, {0.0, 2.0}), 0.0);
+}
+
+TEST(Mape, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(mape({}, {}), 0.0);
+}
+
+// Brute-force tau-b reference.
+double
+tauRef(const std::vector<double> &x, const std::vector<double> &y)
+{
+    const size_t n = x.size();
+    long concordant = 0, discordant = 0, tx = 0, ty = 0;
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = i + 1; j < n; ++j) {
+            const double dx = x[i] - x[j], dy = y[i] - y[j];
+            if (dx == 0 && dy == 0) {
+                ++tx;
+                ++ty;
+            } else if (dx == 0) {
+                ++tx;
+            } else if (dy == 0) {
+                ++ty;
+            } else if (dx * dy > 0) {
+                ++concordant;
+            } else {
+                ++discordant;
+            }
+        }
+    const double n0 = double(n) * (n - 1) / 2;
+    const double denom =
+        std::sqrt(n0 - double(tx)) * std::sqrt(n0 - double(ty));
+    if (denom == 0)
+        return 0.0;
+    return double(concordant - discordant) / denom;
+}
+
+TEST(KendallTau, PerfectOrder)
+{
+    EXPECT_DOUBLE_EQ(kendallTau({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0);
+}
+
+TEST(KendallTau, ReversedOrder)
+{
+    EXPECT_DOUBLE_EQ(kendallTau({1, 2, 3, 4}, {4, 3, 2, 1}), -1.0);
+}
+
+TEST(KendallTau, TinyInputs)
+{
+    EXPECT_DOUBLE_EQ(kendallTau({}, {}), 0.0);
+    EXPECT_DOUBLE_EQ(kendallTau({1.0}, {2.0}), 0.0);
+}
+
+TEST(KendallTau, AllTiesIsZero)
+{
+    EXPECT_DOUBLE_EQ(kendallTau({1, 1, 1}, {2, 3, 4}), 0.0);
+}
+
+class TauRandomTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TauRandomTest, MatchesBruteForce)
+{
+    Rng rng(GetParam());
+    const int n = 60 + GetParam() * 13;
+    std::vector<double> x(n), y(n);
+    for (int i = 0; i < n; ++i) {
+        // Quantized values create plenty of ties.
+        x[i] = double(rng.uniformInt(0, 15));
+        y[i] = double(rng.uniformInt(0, 15)) + 0.25 * x[i];
+    }
+    EXPECT_NEAR(kendallTau(x, y), tauRef(x, y), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TauRandomTest,
+                         ::testing::Range(1, 13));
+
+TEST(KendallTau, ContinuousRandomMatches)
+{
+    Rng rng(77);
+    std::vector<double> x(300), y(300);
+    for (int i = 0; i < 300; ++i) {
+        x[i] = rng.normal();
+        y[i] = 0.4 * x[i] + rng.normal();
+    }
+    EXPECT_NEAR(kendallTau(x, y), tauRef(x, y), 1e-12);
+    EXPECT_GT(kendallTau(x, y), 0.1);
+}
+
+TEST(Summary, MeanStddevMedian)
+{
+    EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 0.01);
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+    EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4, 1, 2, 3}), 2.5);
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Histogram, BucketsAndClamping)
+{
+    IntHistogram hist(5);
+    hist.add(0.2);   // -> 0
+    hist.add(1.6);   // -> 2
+    hist.add(9.0);   // clamp -> 5
+    hist.add(-2.0);  // clamp -> 0
+    EXPECT_EQ(hist.count(0), 2);
+    EXPECT_EQ(hist.count(2), 1);
+    EXPECT_EQ(hist.count(5), 1);
+    EXPECT_EQ(hist.total(), 4);
+}
+
+TEST(Histogram, RenderContainsCounts)
+{
+    IntHistogram a(2), b(2);
+    a.add(0);
+    b.add(1);
+    const std::string out = a.renderVersus(b, "dflt", "lrnd");
+    EXPECT_NE(out.find("dflt"), std::string::npos);
+    EXPECT_NE(out.find("lrnd"), std::string::npos);
+}
+
+} // namespace
+} // namespace difftune::stats

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the OpenTuner-style baseline: budget accounting, search-
+ * box constraints, bandit behaviour, and improvement over its
+ * starting point on a small problem.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hw/default_table.hh"
+#include "mca/xmca.hh"
+#include "tuner/opentuner.hh"
+
+namespace difftune::tuner
+{
+namespace
+{
+
+const bhive::Corpus &
+corpus()
+{
+    static const bhive::Corpus c = bhive::Corpus::generate(200, 31);
+    return c;
+}
+
+const bhive::Dataset &
+dataset()
+{
+    static const bhive::Dataset d(corpus(), hw::Uarch::Haswell);
+    return d;
+}
+
+TunerConfig
+smallConfig(long budget)
+{
+    TunerConfig cfg;
+    cfg.evalBudget = budget;
+    cfg.blocksPerEval = 32;
+    cfg.seed = 4;
+    return cfg;
+}
+
+TEST(OpenTuner, RespectsEvalBudget)
+{
+    mca::XMca sim;
+    OpenTuner tuner(sim, dataset(), hw::defaultTable(hw::Uarch::Haswell),
+                    smallConfig(2000));
+    TunerResult result = tuner.run();
+    EXPECT_LE(result.evalsUsed, 2000);
+    EXPECT_GT(result.evalsUsed, 0);
+    EXPECT_GT(result.iterations, 0);
+}
+
+TEST(OpenTuner, ImprovesOverEarlyBest)
+{
+    mca::XMca sim;
+    auto base = hw::defaultTable(hw::Uarch::Haswell);
+    OpenTuner small_run(sim, dataset(), base, smallConfig(1500));
+    OpenTuner large_run(sim, dataset(), base, smallConfig(15000));
+    const double small_err = small_run.run().bestTrainError;
+    const double large_err = large_run.run().bestTrainError;
+    EXPECT_LE(large_err, small_err + 0.05);
+}
+
+TEST(OpenTuner, ResultRespectsSearchBox)
+{
+    mca::XMca sim;
+    OpenTuner tuner(sim, dataset(), hw::defaultTable(hw::Uarch::Haswell),
+                    smallConfig(6000));
+    TunerResult result = tuner.run();
+    EXPECT_GE(result.best.dispatchWidth, 1);
+    EXPECT_LE(result.best.dispatchWidth, 10);
+    EXPECT_GE(result.best.reorderBufferSize, 50);
+    EXPECT_LE(result.best.reorderBufferSize, 250);
+    for (const auto &inst : result.best.perOpcode) {
+        EXPECT_LE(inst.writeLatency, 5);
+        EXPECT_LE(inst.numMicroOps, 5);
+        for (double pc : inst.portMap)
+            EXPECT_LE(pc, 5);
+    }
+}
+
+TEST(OpenTuner, BanditTriesEveryTechnique)
+{
+    mca::XMca sim;
+    OpenTuner tuner(sim, dataset(), hw::defaultTable(hw::Uarch::Haswell),
+                    smallConfig(8000));
+    TunerResult result = tuner.run();
+    for (size_t t = 0; t < result.picks.size(); ++t)
+        EXPECT_GT(result.picks[t], 0) << techniqueName(Technique(t));
+}
+
+TEST(OpenTuner, MaskedSearchKeepsBase)
+{
+    mca::XMca sim;
+    auto base = hw::defaultTable(hw::Uarch::Haswell);
+    TunerConfig cfg = smallConfig(3000);
+    cfg.dist = params::SamplingDist::writeLatencyOnly();
+    OpenTuner tuner(sim, dataset(), base, cfg);
+    TunerResult result = tuner.run();
+    EXPECT_EQ(result.best.dispatchWidth, base.dispatchWidth);
+    for (size_t op = 0; op < base.numOpcodes(); ++op)
+        EXPECT_EQ(result.best.perOpcode[op].portMap,
+                  base.perOpcode[op].portMap);
+}
+
+TEST(OpenTuner, Deterministic)
+{
+    mca::XMca sim;
+    auto base = hw::defaultTable(hw::Uarch::Haswell);
+    OpenTuner a(sim, dataset(), base, smallConfig(2000));
+    OpenTuner b(sim, dataset(), base, smallConfig(2000));
+    EXPECT_EQ(a.run().bestTrainError, b.run().bestTrainError);
+}
+
+TEST(Technique, NamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (int t = 0; t < int(Technique::NumTechniques); ++t)
+        names.insert(techniqueName(Technique(t)));
+    EXPECT_EQ(names.size(), size_t(Technique::NumTechniques));
+}
+
+} // namespace
+} // namespace difftune::tuner

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for USim, the llvm_sim-analog micro-op simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/parse.hh"
+#include "usim/usim.hh"
+
+namespace difftune::usim
+{
+namespace
+{
+
+using isa::parseBlock;
+using params::ParamTable;
+
+ParamTable
+neutralTable()
+{
+    ParamTable table(isa::theIsa().numOpcodes());
+    for (auto &inst : table.perOpcode) {
+        inst.writeLatency = 1;
+        inst.portMap.fill(0);
+        inst.portMap[0] = 1; // one micro-op on port 0
+    }
+    return table;
+}
+
+isa::OpcodeId
+op(const char *name)
+{
+    auto id = isa::theIsa().opcodeByName(name);
+    EXPECT_NE(id, isa::invalidOpcode);
+    return id;
+}
+
+TEST(USim, EmptyBlockZero)
+{
+    USim sim;
+    EXPECT_EQ(sim.timing(isa::BasicBlock{}, neutralTable()), 0.0);
+}
+
+TEST(USim, PortThroughputBound)
+{
+    // All micro-ops on port 0: one per cycle regardless of frontend.
+    auto block = parseBlock("NOP\nNOP\nNOP\n");
+    USim sim;
+    EXPECT_NEAR(sim.timing(block, neutralTable()), 3.0, 0.1);
+}
+
+TEST(USim, SpreadingPortsRaisesThroughput)
+{
+    auto block = parseBlock("NOP\nNOP\n");
+    auto table = neutralTable();
+    USim sim;
+    const double same_port = sim.timing(block, table);
+    // Give NOP a second variant on port 1 by alternating port maps:
+    // here we just move NOP to two micro-ops on different ports and
+    // verify the bound follows the busiest port.
+    table.perOpcode[op("NOP")].portMap[0] = 0;
+    table.perOpcode[op("NOP")].portMap[1] = 1;
+    const double other_port = sim.timing(block, table);
+    EXPECT_NEAR(same_port, other_port, 0.1); // symmetric
+}
+
+TEST(USim, UopCountIsPortMapSum)
+{
+    // 8 micro-ops per instruction on 8 ports, frontend width 4:
+    // frontend-bound at 2 cycles per instruction.
+    auto block = parseBlock("NOP\n");
+    auto table = neutralTable();
+    auto &pm = table.perOpcode[op("NOP")].portMap;
+    pm.fill(1);
+    pm[8] = 0;
+    pm[9] = 0;
+    USim sim;
+    EXPECT_NEAR(sim.timing(block, table), 2.0, 0.2);
+}
+
+TEST(USim, WriteLatencyChains)
+{
+    auto block = parseBlock("ADD32rr %ebx, %ecx\n");
+    auto table = neutralTable();
+    USim sim;
+    for (int latency : {1, 3, 7}) {
+        table.perOpcode[op("ADD32rr")].writeLatency = latency;
+        EXPECT_NEAR(sim.timing(block, table), double(latency), 0.2)
+            << latency;
+    }
+}
+
+TEST(USim, ZeroPortMapInstructionIsFree)
+{
+    auto block = parseBlock("NOP\n");
+    auto table = neutralTable();
+    table.perOpcode[op("NOP")].portMap.fill(0);
+    table.perOpcode[op("NOP")].writeLatency = 0;
+    USim sim;
+    // Still decodes one synthetic micro-op: frontend bound 1/4.
+    EXPECT_NEAR(sim.timing(block, table), 0.25, 0.05);
+}
+
+TEST(USim, FrontendWidthMatters)
+{
+    auto block = parseBlock(
+        "MOV32ri $1, %ebx\nMOV32ri $2, %ecx\n"
+        "MOV32ri $3, %edi\nMOV32ri $4, %esi\n");
+    auto table = neutralTable();
+    // Independent movs on 4 different ports.
+    table.perOpcode[op("MOV32ri")].portMap.fill(0);
+    table.perOpcode[op("MOV32ri")].portMap[0] = 1;
+    USim wide(100, 8), narrow(100, 1);
+    EXPECT_LT(wide.timing(block, table) - 0.01,
+              narrow.timing(block, table));
+}
+
+TEST(USim, Deterministic)
+{
+    auto block = parseBlock(
+        "ADD32rr %ebx, %ecx\nMOV64rm 8(%rsi), %rdi\nPUSH64r %rbx\n");
+    auto table = neutralTable();
+    USim sim;
+    EXPECT_EQ(sim.timing(block, table), sim.timing(block, table));
+}
+
+TEST(USim, StructurallyDifferentFromXMca)
+{
+    // USim ignores NumMicroOps and DispatchWidth (Table VII): varying
+    // them must not change its predictions.
+    auto block = parseBlock("ADD32rr %ebx, %ecx\nNOP\n");
+    auto table = neutralTable();
+    USim sim;
+    const double before = sim.timing(block, table);
+    table.perOpcode[op("ADD32rr")].numMicroOps = 9;
+    table.dispatchWidth = 1;
+    table.reorderBufferSize = 10;
+    EXPECT_EQ(sim.timing(block, table), before);
+}
+
+class LatencyMonotoneTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LatencyMonotoneTest, NonDecreasingInLatency)
+{
+    auto block = parseBlock(
+        "ADD32rr %ebx, %ecx\nSUB32rr %ecx, %ebx\n");
+    auto table = neutralTable();
+    USim sim;
+    table.perOpcode[op("ADD32rr")].writeLatency = GetParam();
+    const double t1 = sim.timing(block, table);
+    table.perOpcode[op("ADD32rr")].writeLatency = GetParam() + 2;
+    const double t2 = sim.timing(block, table);
+    EXPECT_LE(t1, t2 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Latencies, LatencyMonotoneTest,
+                         ::testing::Values(0, 1, 3, 6, 10));
+
+} // namespace
+} // namespace difftune::usim
