@@ -20,8 +20,9 @@
 #include "stats/metrics.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    difftune::bench::parseBenchArgs(argc, argv);
     using namespace difftune;
     setVerbose(false);
     return bench::runBench(

@@ -20,8 +20,9 @@
 #include "mca/xmca.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    difftune::bench::parseBenchArgs(argc, argv);
     using namespace difftune;
     setVerbose(envLong("DIFFTUNE_VERBOSE", 0) != 0);
     return bench::runBench(

@@ -27,8 +27,9 @@ renderPair(const char *title, const stats::IntHistogram &def,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    difftune::bench::parseBenchArgs(argc, argv);
     setVerbose(false);
     return bench::runBench(
         "bench_fig4_histograms: default vs learned parameter "

@@ -17,8 +17,9 @@
 #include "mca/xmca.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    difftune::bench::parseBenchArgs(argc, argv);
     using namespace difftune;
     setVerbose(false);
     return bench::runBench(

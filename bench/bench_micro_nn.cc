@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_micro_util.hh"
+
 #include "isa/parse.hh"
 #include "nn/modules.hh"
 #include "surrogate/model.hh"
@@ -113,4 +115,8 @@ BENCHMARK(BM_SurrogateForwardBackward);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    return difftune::bench::runMicroBenchMain(argc, argv);
+}

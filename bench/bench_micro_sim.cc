@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_micro_util.hh"
+
 #include "analytical/iaca.hh"
 #include "bhive/generator.hh"
 #include "hw/default_table.hh"
@@ -95,4 +97,8 @@ BENCHMARK(BM_BlockGeneration);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    return difftune::bench::runMicroBenchMain(argc, argv);
+}

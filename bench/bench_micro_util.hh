@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared main() for the google-benchmark microbenchmarks: parses the
+ * common bench flags, then hands the rest to the benchmark library.
+ * --smoke shrinks the per-benchmark measurement budget.
+ */
+
+#ifndef DIFFTUNE_BENCH_BENCH_MICRO_UTIL_HH
+#define DIFFTUNE_BENCH_BENCH_MICRO_UTIL_HH
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench/bench_util.hh"
+
+// google-benchmark >= 1.8 requires a unit suffix on
+// --benchmark_min_time; older versions reject it. CMake picks the
+// right spelling from the detected library version.
+#ifndef DIFFTUNE_BENCH_SMOKE_MIN_TIME
+#define DIFFTUNE_BENCH_SMOKE_MIN_TIME "0.01"
+#endif
+
+namespace difftune::bench
+{
+
+inline int
+runMicroBenchMain(int argc, char **argv)
+{
+    const bool smoke = parseBenchArgs(argc, argv, /*strict=*/false);
+    std::vector<char *> args(argv, argv + argc);
+    static char min_time[] =
+        "--benchmark_min_time=" DIFFTUNE_BENCH_SMOKE_MIN_TIME;
+    if (smoke)
+        args.insert(args.begin() + 1, min_time);
+    args.push_back(nullptr);
+    int args_count = static_cast<int>(args.size()) - 1;
+    benchmark::Initialize(&args_count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace difftune::bench
+
+#endif // DIFFTUNE_BENCH_BENCH_MICRO_UTIL_HH

@@ -7,8 +7,9 @@
 #include "core/experiment.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    difftune::bench::parseBenchArgs(argc, argv);
     using namespace difftune;
     setVerbose(false);
     return bench::runBench(

@@ -48,8 +48,9 @@ cell(const core::EvalResult &result)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    difftune::bench::parseBenchArgs(argc, argv);
     setVerbose(envLong("DIFFTUNE_VERBOSE", 0) != 0);
     return bench::runBench(
         "bench_table4_main: error of llvm-mca-analog with default and "

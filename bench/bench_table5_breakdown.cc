@@ -28,8 +28,9 @@ struct GroupError
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    difftune::bench::parseBenchArgs(argc, argv);
     setVerbose(false);
     return bench::runBench(
         "bench_table5_breakdown: Haswell per-application and "

@@ -9,8 +9,9 @@
 #include "hw/default_table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    difftune::bench::parseBenchArgs(argc, argv);
     using namespace difftune;
     setVerbose(false);
     return bench::runBench(

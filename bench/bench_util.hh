@@ -9,6 +9,8 @@
 #define DIFFTUNE_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <iostream>
 #include <string>
@@ -19,6 +21,59 @@
 
 namespace difftune::bench
 {
+
+/**
+ * Parse the shared bench CLI flags, consuming them from argv:
+ *
+ *   --smoke      clamp DIFFTUNE_SCALE down to at most a tiny
+ *                link-and-run sanity size (never enlarges a smaller
+ *                explicit scale, regardless of flag order)
+ *   --scale=<x>  set DIFFTUNE_SCALE explicitly (paper scale is 1.0)
+ *
+ * In strict mode (the paper benches) any other argument is an error —
+ * a typo'd flag must not silently run the full-scale workload. With
+ * strict=false (the google-benchmark harnesses) unknown arguments and
+ * --help are left in argv for benchmark::Initialize to handle.
+ *
+ * Must run before the first experimentScale() call (the value is
+ * cached). Returns true when --smoke was requested so google-benchmark
+ * harnesses can also shrink their iteration budget.
+ */
+inline bool
+parseBenchArgs(int &argc, char **argv, bool strict = true)
+{
+    bool smoke = false;
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+            setenv("DIFFTUNE_SCALE", argv[i] + 8, 1);
+        } else if (strict && std::strcmp(argv[i], "--help") == 0) {
+            std::cout << "usage: " << argv[0]
+                      << " [--smoke] [--scale=<x>]\n"
+                         "  --smoke      tiny iteration count (sanity "
+                         "run)\n"
+                         "  --scale=<x>  DIFFTUNE_SCALE multiplier "
+                         "(paper scale: 1.0)\n";
+            std::exit(0);
+        } else if (strict) {
+            std::cerr << argv[0] << ": unknown argument: " << argv[i]
+                      << " (try --help)\n";
+            std::exit(2);
+        } else {
+            argv[kept++] = argv[i];
+        }
+    }
+    argv[kept] = nullptr;
+    argc = kept;
+    if (smoke) {
+        const double current = envDouble("DIFFTUNE_SCALE", 1.0);
+        const double clamped = current < 0.05 ? current : 0.05;
+        setenv("DIFFTUNE_SCALE", std::to_string(clamped).c_str(), 1);
+    }
+    return smoke;
+}
 
 /** Print the bench banner. */
 inline void
@@ -39,8 +94,8 @@ int
 runBench(const std::string &what, const std::string &paper_ref,
          Body &&body)
 {
-    banner(what, paper_ref);
     try {
+        banner(what, paper_ref);
         body();
     } catch (const std::exception &error) {
         std::cerr << "bench failed: " << error.what() << std::endl;

@@ -1,0 +1,39 @@
+cmake_minimum_required(VERSION 3.25)
+
+# Run as a CTest check:
+#   cmake -DTESTS_DIR=<dir> -DREGISTERED=<list> -P check_test_registration.cmake
+#
+# Fails when a tests/test_*.cc file exists on disk that is not in the
+# DIFFTUNE_TEST_SUITES list, or when the list names a suite whose
+# source file is gone — either way CTest would silently diverge from
+# the tree.
+
+file(GLOB _suite_files RELATIVE "${TESTS_DIR}" "${TESTS_DIR}/test_*.cc")
+
+set(_on_disk "")
+foreach(_file IN LISTS _suite_files)
+    string(REPLACE ".cc" "" _suite "${_file}")
+    list(APPEND _on_disk "${_suite}")
+endforeach()
+
+set(_errors "")
+foreach(_suite IN LISTS _on_disk)
+    if(NOT _suite IN_LIST REGISTERED)
+        list(APPEND _errors
+            "tests/${_suite}.cc is not registered in tests/CMakeLists.txt")
+    endif()
+endforeach()
+foreach(_suite IN LISTS REGISTERED)
+    if(NOT _suite IN_LIST _on_disk)
+        list(APPEND _errors
+            "${_suite} is registered but tests/${_suite}.cc does not exist")
+    endif()
+endforeach()
+
+if(_errors)
+    list(JOIN _errors "\n  " _message)
+    message(FATAL_ERROR "orphaned test suites:\n  ${_message}")
+endif()
+
+list(LENGTH _on_disk _count)
+message(STATUS "all ${_count} test suites registered with CTest")

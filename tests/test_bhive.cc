@@ -29,8 +29,9 @@ TEST(Generator, BlocksAreWellFormed)
             for (const auto &inst : block.insts) {
                 const auto &op = inst.info();
                 EXPECT_EQ(inst.slots.size(), op.numRegOps());
-                if (op.mem != isa::MemMode::None)
+                if (op.mem != isa::MemMode::None) {
                     EXPECT_NE(inst.mem.base, isa::invalidReg);
+                }
                 for (isa::RegId reg : inst.slots) {
                     if (op.isVector)
                         EXPECT_TRUE(isa::isVec(reg));

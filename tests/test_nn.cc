@@ -345,8 +345,9 @@ TEST(Optim, SgdSolvesLinearRegression)
             loss_total += g.scalarValue(loss);
         }
         sgd.step(params, grads);
-        if (step == 599)
+        if (step == 599) {
             EXPECT_LT(loss_total / 8, 1e-3);
+        }
     }
 }
 
