@@ -93,8 +93,11 @@ main(int argc, char **argv)
                     core::DiffTuneConfig cfg = core::standardConfig(3);
                     cfg.simulatedMultiple /= 2;
                     cfg.surrogateLoops =
-                        std::max(3, cfg.surrogateLoops / 2);
-                    cfg.tableEpochs = 30;
+                        std::max(2, cfg.surrogateLoops / 2);
+                    // Half the standard epochs, which already scale
+                    // with DIFFTUNE_SCALE (a --smoke run keeps its
+                    // link-and-run floor).
+                    cfg.tableEpochs = std::max(5, cfg.tableEpochs / 2);
                     cfg.refineRounds = rounds;
                     core::DiffTune difftune(sim, dataset, base, cfg);
                     auto result = difftune.run();

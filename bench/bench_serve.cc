@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Serving-layer benchmark: checkpoint cold-load latency plus the
+ * throughput of the batched PredictionEngine against the naive
+ * one-fresh-graph-per-block path, on a skewed request stream (a small
+ * working set dominates, as in real serving traffic; see
+ * serve/workload.hh for the shared experiment definition).
+ *
+ * The engine's advantage comes from three places measured together:
+ * the LRU prediction cache (repeat blocks skip the LSTM entirely),
+ * within-batch deduplication, and per-shard graph reuse. The
+ * acceptance floor tracked in ROADMAP.md is a >= 3x speedup over the
+ * naive path on this workload.
+ */
+
+#include <chrono>
+#include <filesystem>
+
+#include "bench/bench_util.hh"
+#include "core/experiment.hh"
+#include "core/raw_table.hh"
+#include "hw/default_table.hh"
+#include "serve/workload.hh"
+
+namespace
+{
+
+using namespace difftune;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    difftune::bench::parseBenchArgs(argc, argv);
+    setVerbose(false);
+    return bench::runBench(
+        "bench_serve: checkpoint cold-load latency and batched "
+        "serving throughput",
+        "serving-layer extension (train once, serve many; Renda et "
+        "al. 2021)",
+        [] {
+            // A full serving artifact: surrogate-shaped model +
+            // learned-table stand-in + sampling distribution. The
+            // weights are untrained — throughput and round-trip
+            // fidelity do not depend on training.
+            const params::SamplingDist dist =
+                params::SamplingDist::full();
+            const core::ParamNormalizer norm(dist);
+            surrogate::ModelConfig mcfg;
+            mcfg.hidden = core::ExperimentScale::fromEnv().hidden;
+            mcfg.embedDim = core::ExperimentScale::fromEnv().embed;
+            mcfg.tokenLayers = 1;
+            mcfg.blockLayers = 2;
+            mcfg.paramDim = norm.paramDim();
+            surrogate::Model model(mcfg, isa::theVocab().size());
+            const params::ParamTable table =
+                hw::defaultTable(hw::Uarch::Haswell);
+
+            const std::string path =
+                core::cacheDir() + "/bench_serve.ckpt";
+
+            // ---- Checkpoint save + cold-load latency.
+            const auto save_begin = std::chrono::steady_clock::now();
+            io::saveCheckpoint(path, &model, &dist, &table);
+            const auto save_end = std::chrono::steady_clock::now();
+
+            const auto load_begin = std::chrono::steady_clock::now();
+            auto engine = serve::PredictionEngine::fromFile(path);
+            const auto load_end = std::chrono::steady_clock::now();
+
+            TextTable io_table({"Checkpoint", "Value"});
+            io_table.addRow(
+                {"file size",
+                 std::to_string(std::filesystem::file_size(path)) +
+                     " bytes"});
+            const double save_ms =
+                1e3 * serve::secondsBetween(save_begin, save_end);
+            const double load_ms =
+                1e3 * serve::secondsBetween(load_begin, load_end);
+            io_table.addRow({"save", fmtDouble(save_ms, 1) + " ms"});
+            io_table.addRow(
+                {"cold load", fmtDouble(load_ms, 1) + " ms"});
+            std::cout << io_table.render() << "\n";
+
+            // ---- Throughput: naive vs batched engine. The working
+            // set is a fraction of the corpus, as at a serving
+            // endpoint where a hot subset dominates the traffic.
+            const size_t requests = size_t(scaledCount(20000, 800));
+            const auto &corpus = core::sharedCorpus();
+            const size_t unique = std::min(
+                corpus.size(), std::max<size_t>(50, requests / 8));
+            const auto workload = serve::powerLawWorkload(
+                corpus, requests, unique, 0xbe7c);
+
+            const auto timing =
+                serve::compareThroughput(engine, workload);
+
+            const auto &stats = engine.stats();
+            TextTable table2({"Path", "Throughput", "Notes"});
+            table2.addRow(
+                {"naive (fresh graph/block)",
+                 fmtDouble(double(requests) / timing.naiveSeconds, 0) +
+                     " blk/s",
+                 "no cache, no batching"});
+            table2.addRow(
+                {"engine (batched)",
+                 fmtDouble(double(requests) / timing.engineSeconds,
+                           0) +
+                     " blk/s",
+                 std::to_string(engine.workers()) + " workers, " +
+                     std::to_string(stats.hits) + " hits, " +
+                     std::to_string(stats.forwards) + " forwards"});
+            table2.addRow({"speedup",
+                           fmtDouble(timing.speedup(), 1) + "x",
+                           "floor: 3x (ROADMAP)"});
+            std::cout << table2.render();
+            std::cout << "(" << workload.size() << " requests over "
+                      << unique << " unique blocks)\n";
+        });
+}

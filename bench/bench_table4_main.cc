@@ -105,11 +105,14 @@ main(int argc, char **argv)
                 }
 
                 // OpenTuner with DiffTune's simulator-eval budget.
+                // The additive slack scales with DIFFTUNE_SCALE so
+                // the --smoke tier keeps a link-and-run floor instead
+                // of a fixed 20k evaluations.
                 tuner::TunerConfig tuner_cfg;
                 tuner_cfg.evalBudget = long(
                     core::standardConfig(1).simulatedMultiple *
                     double(dataset.train().size())) +
-                    20000;
+                    scaledCount(20000, 1024);
                 tuner_cfg.seed = 17;
                 tuner::OpenTuner opentuner(sim, dataset, def,
                                            tuner_cfg);

@@ -79,13 +79,14 @@ parseBenchArgs(int &argc, char **argv, bool strict = true)
 inline void
 banner(const std::string &what, const std::string &paper_ref)
 {
-    std::cout << "==========================================================\n"
+    const std::string rule(58, '=');
+    std::cout << rule << "\n"
               << what << "\n"
               << "reproduces: " << paper_ref << "\n"
               << "scale: DIFFTUNE_SCALE=" << experimentScale()
               << " (absolute numbers shift with scale; shapes should "
                  "hold)\n"
-              << "==========================================================\n";
+              << rule << "\n";
 }
 
 /** Wrap a bench body with fatal-error handling. */

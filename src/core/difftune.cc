@@ -12,6 +12,7 @@
 #include "base/parallel.hh"
 #include "core/evaluate.hh"
 #include "core/trainer.hh"
+#include "io/checkpoint.hh"
 
 namespace difftune::core
 {
@@ -174,6 +175,9 @@ DiffTune::trainSurrogate()
 void
 DiffTune::refineSurrogate(const params::ParamTable &center)
 {
+    // Fine-tuning changes the surrogate weights, so any checkpoint on
+    // disk no longer matches the in-memory model.
+    checkpointFresh_ = false;
     const auto &train = dataset_.train();
     const size_t count =
         size_t(config_.refineMultiple * double(train.size()));
@@ -345,6 +349,16 @@ DiffTune::tableEpochs(RawTable &raw, BatchRunner &runner, nn::Adam &adam,
             if (err < best_err) {
                 best_err = err;
                 best = candidate;
+                checkpointFresh_ = false;
+            }
+            ++snapshotCount_;
+            if (config_.checkpoint.due(snapshotCount_) &&
+                !checkpointFresh_) {
+                io::saveCheckpoint(config_.checkpoint.path,
+                                   model_.get(), &config_.dist, &best);
+                checkpointFresh_ = true;
+                inform("checkpointed best-so-far table to {}",
+                       config_.checkpoint.path);
             }
         }
     }
@@ -397,6 +411,13 @@ DiffTune::run()
     result.surrogateFidelity = surrogateFidelity();
     result.learned = trainTable();
     result.simulatorEvals = simulatorEvals_;
+    // checkpointFresh_ means the file already holds exactly this
+    // model + best table (the last periodic save was not superseded).
+    if (config_.checkpoint.enabled() && !checkpointFresh_) {
+        io::saveCheckpoint(config_.checkpoint.path, model_.get(),
+                           &config_.dist, &result.learned);
+        inform("saved checkpoint {}", config_.checkpoint.path);
+    }
     return result;
 }
 

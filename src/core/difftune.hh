@@ -27,6 +27,7 @@
 
 #include "bhive/dataset.hh"
 #include "core/raw_table.hh"
+#include "io/checkpoint_hook.hh"
 #include "nn/optim.hh"
 #include "params/sampling.hh"
 #include "params/simulator.hh"
@@ -84,6 +85,14 @@ struct DiffTuneConfig
 
     int workers = 0;            ///< worker threads (0 = default)
     uint64_t seed = 1;
+
+    /**
+     * Checkpointing: with a path set, run() saves the trained
+     * surrogate + sampling distribution + learned table (a complete
+     * serving artifact, see serve/engine.hh); `every` > 0 also saves
+     * after every Nth validation snapshot during table training.
+     */
+    io::CheckpointHook checkpoint;
 };
 
 /** Outcome of one DiffTune run. */
@@ -175,6 +184,9 @@ class DiffTune
     std::vector<params::ParamTable> snapshots_; ///< refinement centers
     std::unique_ptr<surrogate::Model> model_;
     long simulatorEvals_ = 0;
+    int snapshotCount_ = 0; ///< validation snapshots taken (hook cadence)
+    /** On-disk checkpoint matches the current model + best table. */
+    bool checkpointFresh_ = false;
     Rng rng_;
 };
 

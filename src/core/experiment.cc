@@ -5,6 +5,7 @@
 
 #include "core/experiment.hh"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -26,10 +27,15 @@ ExperimentScale::fromEnv()
     ExperimentScale s;
     s.corpusBlocks = size_t(scaledCount(3000, 600));
     s.simulatedMultiple = 8.0;
-    s.surrogateLoops = scale >= 1.0 ? 10 : 6;
-    s.tableEpochs = 60;
-    s.refineRounds = 2;
-    s.ithemalEpochs = scale >= 1.0 ? 10 : 6;
+    // Training-loop counts shrink with the scale down to link-and-run
+    // floors so the --smoke tier (DIFFTUNE_SCALE=0.05) stays cheap in
+    // CI; from scale ~0.3 upward they saturate at the full values.
+    s.surrogateLoops =
+        scale >= 1.0 ? 10 : int(std::clamp(scaledCount(20, 2), 2L, 6L));
+    s.tableEpochs = int(std::clamp(scaledCount(200, 10), 10L, 60L));
+    s.refineRounds = scale < 0.1 ? 1 : 2;
+    s.ithemalEpochs =
+        scale >= 1.0 ? 10 : int(std::clamp(scaledCount(20, 2), 2L, 6L));
     s.hidden = 64;
     s.embed = 32;
     return s;

@@ -9,6 +9,7 @@
 
 #include "base/parallel.hh"
 #include "core/trainer.hh"
+#include "io/checkpoint.hh"
 #include "nn/optim.hh"
 
 namespace difftune::core
@@ -66,6 +67,18 @@ Ithemal::train()
         final_loss = epoch_loss / double(std::max<size_t>(1, batches));
         inform("ithemal epoch {}/{}: loss {}", epoch + 1,
                config_.epochs, final_loss);
+        if (config_.checkpoint.due(epoch + 1))
+            io::saveCheckpoint(config_.checkpoint.path, model_.get(),
+                               nullptr, nullptr);
+    }
+    // The final state is already on disk when the last epoch's
+    // periodic save fired.
+    const bool already_saved =
+        config_.epochs > 0 && config_.checkpoint.due(config_.epochs);
+    if (config_.checkpoint.enabled() && !already_saved) {
+        io::saveCheckpoint(config_.checkpoint.path, model_.get(),
+                           nullptr, nullptr);
+        inform("saved checkpoint {}", config_.checkpoint.path);
     }
     return final_loss;
 }

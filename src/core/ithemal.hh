@@ -13,6 +13,7 @@
 
 #include "bhive/dataset.hh"
 #include "core/evaluate.hh"
+#include "io/checkpoint_hook.hh"
 #include "surrogate/model.hh"
 
 namespace difftune::core
@@ -28,6 +29,12 @@ struct IthemalConfig
     double gradClip = 5.0;
     int workers = 0;
     uint64_t seed = 7;
+
+    /**
+     * Checkpointing: with a path set, train() saves the model after
+     * the final epoch, and after every Nth epoch when `every` > 0.
+     */
+    io::CheckpointHook checkpoint;
 };
 
 /** A trained Ithemal predictor. */

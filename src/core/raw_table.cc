@@ -35,6 +35,30 @@ opcodeRecord(const params::ParamTable &table, size_t op)
     return rec;
 }
 
+/**
+ * The soft clamp the trainable path applies (see
+ * RawTable::paramInputs) so the surrogate sees one consistent input
+ * transform in every phase, including frozen-table serving.
+ */
+double
+softClamp(double x)
+{
+    return softClampCap * std::tanh(x / softClampCap);
+}
+
+/** Assemble one opcode's input column given precomputed globals. */
+nn::Tensor
+opcodeTensor(const std::array<double, params::perOpcodeParams> &rec,
+             double dw, double rob, const ParamNormalizer &norm)
+{
+    nn::Tensor t(norm.paramDim(), 1);
+    for (int i = 0; i < params::perOpcodeParams; ++i)
+        t.data[i] = softClamp(rec[i] * norm.perOpcode[i]);
+    t.data[params::perOpcodeParams + 0] = dw;
+    t.data[params::perOpcodeParams + 1] = rob;
+    return t;
+}
+
 } // namespace
 
 ParamNormalizer::ParamNormalizer(const params::SamplingDist &dist)
@@ -55,13 +79,6 @@ std::vector<nn::Var>
 constParamInputs(nn::Graph &graph, const params::ParamTable &table,
                  const isa::BasicBlock &block, const ParamNormalizer &norm)
 {
-    // The same soft clamp the trainable path applies (see
-    // RawTable::paramInputs) so the surrogate sees one consistent
-    // input transform in both phases.
-    auto softClamp = [](double x) {
-        return softClampCap * std::tanh(x / softClampCap);
-    };
-
     // Globals are shared by every instruction of the block.
     const double dw =
         softClamp((table.dispatchWidth - 1.0) * norm.globals[0]);
@@ -71,15 +88,21 @@ constParamInputs(nn::Graph &graph, const params::ParamTable &table,
     std::vector<nn::Var> result;
     result.reserve(block.size());
     for (const auto &inst : block.insts) {
-        const auto rec = opcodeRecord(table, inst.opcode);
-        nn::Tensor t(norm.paramDim(), 1);
-        for (int i = 0; i < params::perOpcodeParams; ++i)
-            t.data[i] = softClamp(rec[i] * norm.perOpcode[i]);
-        t.data[params::perOpcodeParams + 0] = dw;
-        t.data[params::perOpcodeParams + 1] = rob;
-        result.push_back(graph.input(std::move(t)));
+        result.push_back(graph.input(opcodeTensor(
+            opcodeRecord(table, inst.opcode), dw, rob, norm)));
     }
     return result;
+}
+
+nn::Tensor
+opcodeParamInput(const params::ParamTable &table, isa::OpcodeId op,
+                 const ParamNormalizer &norm)
+{
+    const double dw =
+        softClamp((table.dispatchWidth - 1.0) * norm.globals[0]);
+    const double rob =
+        softClamp((table.reorderBufferSize - 1.0) * norm.globals[1]);
+    return opcodeTensor(opcodeRecord(table, op), dw, rob, norm);
 }
 
 RawTable::RawTable(const params::ParamTable &init,

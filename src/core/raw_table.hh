@@ -51,6 +51,17 @@ constParamInputs(nn::Graph &graph, const params::ParamTable &table,
                  const isa::BasicBlock &block,
                  const ParamNormalizer &norm);
 
+/**
+ * The (paramDim x 1) surrogate input column for one opcode of an
+ * actual-valued table — exactly the tensor constParamInputs feeds the
+ * graph for an instruction of that opcode. Exposed so a frozen-table
+ * consumer (the serving engine) can precompute one tensor per opcode
+ * at load time and stay bit-identical to the training-time transform.
+ */
+nn::Tensor opcodeParamInput(const params::ParamTable &table,
+                            isa::OpcodeId op,
+                            const ParamNormalizer &norm);
+
 /** The trainable raw table (phase 4's only trainable leaves). */
 class RawTable
 {

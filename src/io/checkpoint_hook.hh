@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Where and how often a training loop checkpoints its artifacts (see
+ * io/checkpoint.hh for the file format). Embedded in DiffTuneConfig,
+ * IthemalConfig and tuner::TunerConfig: an empty path disables
+ * checkpointing; with a path the final artifact is always saved, and
+ * `every` > 0 additionally saves mid-training (its unit is epochs for
+ * the gradient trainers, improved-best candidates for the tuner), so
+ * a long run killed partway leaves a loadable artifact behind.
+ *
+ * Deliberately a tiny standalone header: config structs across layers
+ * (core, tuner) embed it without pulling in the checkpoint codec or
+ * each other's training machinery.
+ */
+
+#ifndef DIFFTUNE_IO_CHECKPOINT_HOOK_HH
+#define DIFFTUNE_IO_CHECKPOINT_HOOK_HH
+
+#include <string>
+
+namespace difftune::io
+{
+
+struct CheckpointHook
+{
+    std::string path; ///< target file; empty: checkpointing disabled
+    int every = 0;    ///< also save every N progress units (0: end only)
+
+    bool enabled() const { return !path.empty(); }
+
+    /** True when progress unit @p unit (1-based) should save. */
+    bool
+    due(int unit) const
+    {
+        return enabled() && every > 0 && unit % every == 0;
+    }
+};
+
+} // namespace difftune::io
+
+#endif // DIFFTUNE_IO_CHECKPOINT_HOOK_HH

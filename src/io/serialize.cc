@@ -1,0 +1,41 @@
+/**
+ * @file
+ * CRC-32 implementation (table-driven, IEEE 802.3 polynomial).
+ */
+
+#include "io/serialize.hh"
+
+#include <array>
+
+namespace difftune::io
+{
+
+namespace
+{
+
+std::array<uint32_t, 256>
+makeCrcTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t n = 0; n < 256; ++n) {
+        uint32_t c = n;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[n] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+uint32_t
+crc32(std::string_view data)
+{
+    static const std::array<uint32_t, 256> table = makeCrcTable();
+    uint32_t crc = 0xffffffffu;
+    for (char ch : data)
+        crc = table[(crc ^ uint8_t(ch)) & 0xff] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+} // namespace difftune::io

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * PredictionEngine implementation.
+ */
+
+#include "serve/engine.hh"
+
+#include <unordered_map>
+
+#include "base/env.hh"
+#include "base/parallel.hh"
+#include "core/raw_table.hh"
+#include "isa/parse.hh"
+
+namespace difftune::serve
+{
+
+PredictionEngine::PredictionEngine(io::Checkpoint checkpoint,
+                                   ServeConfig config)
+    : model_(std::move(checkpoint.model)),
+      table_(std::move(checkpoint.table)),
+      workers_(config.workers > 0 ? config.workers : workerThreads()),
+      cache_(config.cacheCapacity)
+{
+    fatal_if(!model_, "checkpoint carries no model; nothing to serve");
+    fatal_if(checkpoint.vocabSize != isa::theVocab().size(),
+             "checkpoint vocabulary size {} does not match this "
+             "process's {}",
+             checkpoint.vocabSize, isa::theVocab().size());
+
+    const int param_dim = model_->config().paramDim;
+    if (param_dim > 0) {
+        // A DiffTune surrogate needs its frozen inputs: the learned
+        // table and the sampling distribution whose widths normalize
+        // the table entries.
+        fatal_if(!table_, "surrogate checkpoint (paramDim {}) carries "
+                 "no parameter table",
+                 param_dim);
+        fatal_if(!checkpoint.dist,
+                 "surrogate checkpoint (paramDim {}) carries no "
+                 "sampling distribution",
+                 param_dim);
+        fatal_if(table_->numOpcodes() != isa::theIsa().numOpcodes(),
+                 "checkpoint table has {} opcodes, ISA has {}",
+                 table_->numOpcodes(), isa::theIsa().numOpcodes());
+        const core::ParamNormalizer norm(*checkpoint.dist);
+        fatal_if(norm.paramDim() != param_dim,
+                 "checkpoint sampling distribution implies paramDim "
+                 "{}, model expects {}",
+                 norm.paramDim(), param_dim);
+        // The table is frozen from here on, so each opcode's input
+        // column is a constant — precompute all of them once.
+        opcodeInputs_.reserve(table_->numOpcodes());
+        for (size_t op = 0; op < table_->numOpcodes(); ++op)
+            opcodeInputs_.push_back(core::opcodeParamInput(
+                *table_, isa::OpcodeId(op), norm));
+    }
+
+    graphs_.resize(size_t(workers_));
+    for (auto &graph : graphs_)
+        graph = std::make_unique<nn::Graph>();
+}
+
+PredictionEngine
+PredictionEngine::fromFile(const std::string &path, ServeConfig config)
+{
+    return PredictionEngine(io::loadCheckpoint(path), config);
+}
+
+double
+PredictionEngine::forwardEncoded(nn::Graph &graph,
+                                 const surrogate::EncodedBlock &encoded,
+                                 const isa::BasicBlock &block) const
+{
+    fatal_if(block.empty(), "cannot predict an empty block");
+    nn::Ctx ctx{graph, model_->params(), nullptr};
+    std::vector<nn::Var> inputs;
+    if (!opcodeInputs_.empty()) {
+        inputs.reserve(block.size());
+        for (const auto &inst : block.insts)
+            inputs.push_back(
+                graph.input(opcodeInputs_[size_t(inst.opcode)]));
+    }
+    nn::Var pred = graph.exp(model_->forward(ctx, encoded, inputs));
+    return graph.scalarValue(pred);
+}
+
+double
+PredictionEngine::predict(const std::string &block_text)
+{
+    return predictBlock(isa::parseBlock(block_text));
+}
+
+double
+PredictionEngine::predictBlock(const isa::BasicBlock &block)
+{
+    ++stats_.requests;
+    std::string key = isa::toString(block);
+    if (const double *hit = cache_.get(key)) {
+        ++stats_.hits;
+        return *hit;
+    }
+    ++stats_.misses;
+    ++stats_.forwards;
+    nn::Graph &graph = *graphs_.front();
+    graph.clear();
+    const double prediction =
+        forwardEncoded(graph, surrogate::encodeBlock(block), block);
+    cache_.put(std::move(key), prediction);
+    return prediction;
+}
+
+std::vector<double>
+PredictionEngine::predictAll(const std::vector<std::string> &block_texts)
+{
+    ++stats_.batches;
+    stats_.requests += block_texts.size();
+
+    std::vector<double> results(block_texts.size(), 0.0);
+    std::vector<Miss> misses;
+    std::unordered_map<std::string, size_t> miss_index;
+
+    // Resolve the cache on the submit thread; only genuinely new
+    // canonical blocks (deduplicated within the batch) fan out. Input
+    // validation must also happen here — a fatal() thrown inside a
+    // worker-pool shard would escape the pool thread uncaught.
+    for (size_t i = 0; i < block_texts.size(); ++i) {
+        isa::BasicBlock block = isa::parseBlock(block_texts[i]);
+        fatal_if(block.empty(),
+                 "cannot predict an empty block (batch index {})", i);
+        std::string key = isa::toString(block);
+        if (const double *hit = cache_.get(key)) {
+            ++stats_.hits;
+            results[i] = *hit;
+            continue;
+        }
+        ++stats_.misses;
+        auto it = miss_index.find(key);
+        if (it == miss_index.end()) {
+            it = miss_index.emplace(key, misses.size()).first;
+            misses.push_back(Miss{std::move(key), std::move(block),
+                                  0.0, {}});
+        }
+        misses[it->second].outputs.push_back(uint32_t(i));
+    }
+
+    stats_.forwards += misses.size();
+
+    // One reusable graph per shard; the shard partition is a pure
+    // function of (count, workers), and each block's forward pass is
+    // independent, so results do not depend on the worker count.
+    parallelShards(misses.size(), workers_,
+                   [&](size_t lo, size_t hi, int shard) {
+                       nn::Graph &graph = *graphs_[size_t(shard)];
+                       for (size_t m = lo; m < hi; ++m) {
+                           graph.clear();
+                           misses[m].prediction = forwardEncoded(
+                               graph,
+                               surrogate::encodeBlock(misses[m].block),
+                               misses[m].block);
+                       }
+                   });
+
+    // Publish in deterministic (batch) order.
+    for (Miss &miss : misses) {
+        for (uint32_t slot : miss.outputs)
+            results[slot] = miss.prediction;
+        cache_.put(std::move(miss.key), miss.prediction);
+    }
+    return results;
+}
+
+double
+PredictionEngine::predictUncached(const std::string &block_text) const
+{
+    const isa::BasicBlock block = isa::parseBlock(block_text);
+    nn::Graph graph;
+    return forwardEncoded(graph, surrogate::encodeBlock(block), block);
+}
+
+} // namespace difftune::serve

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Batched prediction serving on top of a loaded checkpoint.
+ *
+ * A PredictionEngine owns a trained model (plus, for a DiffTune
+ * surrogate, the learned parameter table and the sampling
+ * distribution's input normalizer), loads it once, and then answers
+ * block-timing queries at throughput. Three mechanisms make the hot
+ * path cheap:
+ *
+ *  - an LRU cache keyed by canonicalized block text memoizes full
+ *    predictions — for a frozen model the prediction is a pure
+ *    function of the canonical block, so repeat traffic costs a hash
+ *    lookup instead of an LSTM forward pass;
+ *  - per-instruction parameter-input tensors depend only on the
+ *    opcode once the table is frozen, so they are precomputed per
+ *    opcode at load time instead of per request;
+ *  - batched requests map over base/parallel shards, each shard
+ *    reusing one nn::Graph across its blocks (Graph::clear keeps
+ *    node capacity, avoiding per-request tape reallocation).
+ *
+ * Predictions follow the training-time convention: timing =
+ * exp(model head), exactly as core/ithemal and core/difftune evaluate
+ * the model, so a served prediction is bit-identical to the in-process
+ * prediction of the checkpointed model. Batched and sequential
+ * submission, and any worker count, produce identical results.
+ *
+ * The public API is synchronous and single-caller; concurrency lives
+ * inside predictAll's shard fan-out.
+ */
+
+#ifndef DIFFTUNE_SERVE_ENGINE_HH
+#define DIFFTUNE_SERVE_ENGINE_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/checkpoint.hh"
+#include "serve/lru_cache.hh"
+
+namespace difftune::serve
+{
+
+/** Engine tuning knobs. */
+struct ServeConfig
+{
+    int workers = 0;             ///< shard count (<= 0: library default)
+    size_t cacheCapacity = 8192; ///< LRU entries (canonical blocks)
+};
+
+/** Monotonic serving counters. */
+struct ServeStats
+{
+    uint64_t requests = 0; ///< blocks submitted
+    uint64_t hits = 0;     ///< answered from the LRU cache
+    uint64_t misses = 0;   ///< not in the cache at submit time
+    uint64_t forwards = 0; ///< LSTM forward passes actually run
+    uint64_t batches = 0;  ///< predictAll calls
+};
+
+/** Loads a checkpoint once; serves block-timing queries. */
+class PredictionEngine
+{
+  public:
+    /**
+     * Serve @p checkpoint (must carry a model; a paramDim > 0 model
+     * additionally requires the parameter table and sampling-dist
+     * sections). The model must match the process vocabulary.
+     */
+    explicit PredictionEngine(io::Checkpoint checkpoint,
+                              ServeConfig config = {});
+
+    /** Load @p path and serve it. */
+    static PredictionEngine fromFile(const std::string &path,
+                                     ServeConfig config = {});
+
+    /** Predict one block given in canonical assembly syntax. */
+    double predict(const std::string &block_text);
+
+    /** Predict a batch; results align with @p block_texts. */
+    std::vector<double>
+    predictAll(const std::vector<std::string> &block_texts);
+
+    /** Predict one already-parsed block (cached like predict()). */
+    double predictBlock(const isa::BasicBlock &block);
+
+    /**
+     * The uncached, unbatched reference path: parse + encode + one
+     * fresh graph per call. Serves as the bench baseline and as the
+     * ground truth the cached path must match bit-exactly.
+     */
+    double predictUncached(const std::string &block_text) const;
+
+    const ServeStats &stats() const { return stats_; }
+    const surrogate::Model &model() const { return *model_; }
+    const std::optional<params::ParamTable> &table() const
+    {
+        return table_;
+    }
+    int workers() const { return workers_; }
+
+  private:
+    /** Forward one encoded block on @p graph; returns exp(head). */
+    double forwardEncoded(nn::Graph &graph,
+                          const surrogate::EncodedBlock &encoded,
+                          const isa::BasicBlock &block) const;
+
+    /** Blocks needing a forward pass within one batch. */
+    struct Miss
+    {
+        std::string key; ///< canonical text
+        isa::BasicBlock block;
+        double prediction = 0.0;
+        std::vector<uint32_t> outputs; ///< result slots to fill
+    };
+
+    std::unique_ptr<surrogate::Model> model_;
+    std::optional<params::ParamTable> table_;
+    /** Per-opcode parameter-input column, precomputed at load. */
+    std::vector<nn::Tensor> opcodeInputs_;
+
+    int workers_;
+    /** One reusable tape per shard. */
+    std::vector<std::unique_ptr<nn::Graph>> graphs_;
+    LruCache<std::string, double> cache_;
+    ServeStats stats_;
+};
+
+} // namespace difftune::serve
+
+#endif // DIFFTUNE_SERVE_ENGINE_HH

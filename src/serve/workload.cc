@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Serving-workload helpers.
+ */
+
+#include "serve/workload.hh"
+
+namespace difftune::serve
+{
+
+std::vector<std::string>
+powerLawWorkload(const bhive::Corpus &corpus, size_t requests,
+                 size_t unique, uint64_t seed)
+{
+    panic_if(unique == 0 || unique > corpus.size(),
+             "workload wants {} unique blocks, corpus has {}", unique,
+             corpus.size());
+    Rng rng(seed);
+    std::vector<std::string> texts;
+    texts.reserve(requests);
+    for (size_t i = 0; i < requests; ++i) {
+        const double u = rng.uniformReal();
+        const size_t rank = size_t(double(unique) * u * u * u);
+        texts.push_back(
+            isa::toString(corpus[std::min(rank, unique - 1)].block));
+    }
+    return texts;
+}
+
+ThroughputComparison
+compareThroughput(PredictionEngine &engine,
+                  const std::vector<std::string> &workload, size_t wave)
+{
+    ThroughputComparison result;
+
+    const auto naive_begin = std::chrono::steady_clock::now();
+    double naive_sum = 0.0;
+    for (const auto &text : workload)
+        naive_sum += engine.predictUncached(text);
+    const auto naive_end = std::chrono::steady_clock::now();
+    result.naiveSeconds = secondsBetween(naive_begin, naive_end);
+
+    const auto serve_begin = std::chrono::steady_clock::now();
+    double serve_sum = 0.0;
+    for (size_t start = 0; start < workload.size(); start += wave) {
+        const auto first = workload.begin() + long(start);
+        const auto last =
+            workload.begin() +
+            long(std::min(workload.size(), start + wave));
+        for (double r : engine.predictAll(
+                 std::vector<std::string>(first, last)))
+            serve_sum += r;
+    }
+    const auto serve_end = std::chrono::steady_clock::now();
+    result.engineSeconds = secondsBetween(serve_begin, serve_end);
+
+    // Both paths sum the same per-request doubles in request order,
+    // so even the sums must agree bit-exactly.
+    fatal_if(serve_sum != naive_sum,
+             "engine and naive predictions diverged ({} vs {})",
+             serve_sum, naive_sum);
+    return result;
+}
+
+} // namespace difftune::serve

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Synthetic serving workloads and the naive-vs-batched throughput
+ * comparison shared by bench/bench_serve and the difftune_serve
+ * CLI's `bench` command, so the two report the same experiment.
+ */
+
+#ifndef DIFFTUNE_SERVE_WORKLOAD_HH
+#define DIFFTUNE_SERVE_WORKLOAD_HH
+
+#include <chrono>
+
+#include "bhive/corpus.hh"
+#include "serve/engine.hh"
+
+namespace difftune::serve
+{
+
+/** Elapsed wall-clock seconds between two steady_clock points. */
+inline double
+secondsBetween(std::chrono::steady_clock::time_point begin,
+               std::chrono::steady_clock::time_point end)
+{
+    return std::chrono::duration<double>(end - begin).count();
+}
+
+/**
+ * A power-law request stream over the first @p unique blocks of
+ * @p corpus: low ranks dominate, approximating serving traffic where
+ * a small working set receives most requests.
+ */
+std::vector<std::string> powerLawWorkload(const bhive::Corpus &corpus,
+                                          size_t requests,
+                                          size_t unique, uint64_t seed);
+
+/** Wall-clock results of compareThroughput. */
+struct ThroughputComparison
+{
+    double naiveSeconds = 0.0;  ///< predictUncached per request
+    double engineSeconds = 0.0; ///< wave-batched predictAll
+
+    double speedup() const { return naiveSeconds / engineSeconds; }
+};
+
+/**
+ * Run @p workload through the naive path (parse + encode + one fresh
+ * graph per request) and then through the batched engine, submitting
+ * waves of @p wave requests as a serving endpoint would. The two
+ * prediction streams must agree bit-exactly (fatal otherwise). The
+ * naive pass runs first, so the engine's cache starts cold.
+ */
+ThroughputComparison
+compareThroughput(PredictionEngine &engine,
+                  const std::vector<std::string> &workload,
+                  size_t wave = 250);
+
+} // namespace difftune::serve
+
+#endif // DIFFTUNE_SERVE_WORKLOAD_HH

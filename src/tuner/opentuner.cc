@@ -10,6 +10,7 @@
 
 #include "base/logging.hh"
 #include "base/parallel.hh"
+#include "io/checkpoint.hh"
 
 namespace difftune::tuner
 {
@@ -192,6 +193,8 @@ OpenTuner::run()
     std::array<long, num_techniques> picks{};
     std::array<double, num_techniques> reward{};
     long total_picks = 0;
+    int improvements = 0;
+    bool checkpoint_fresh = false;
 
     TunerResult result;
     while (evalsUsed_ + config_.blocksPerEval <= config_.evalBudget) {
@@ -225,6 +228,17 @@ OpenTuner::run()
             bestError_ = error;
             best_ = candidate;
             reward[technique] += 1.0;
+            ++improvements;
+            checkpoint_fresh = false;
+            if (config_.checkpoint.due(improvements)) {
+                params::ParamTable snapshot = best_.extractToValid();
+                params::applyMask(snapshot, base_, config_.dist.mask);
+                io::saveTableCheckpoint(config_.checkpoint.path,
+                                        snapshot);
+                checkpoint_fresh = true;
+                inform("checkpointed tuner best (error {}) to {}",
+                       bestError_, config_.checkpoint.path);
+            }
         }
 
         // Technique-local state updates.
@@ -268,6 +282,11 @@ OpenTuner::run()
     result.bestTrainError = bestError_;
     result.evalsUsed = evalsUsed_;
     result.picks = picks;
+    // The last improvement's periodic save already wrote this table.
+    if (config_.checkpoint.enabled() && !checkpoint_fresh) {
+        io::saveTableCheckpoint(config_.checkpoint.path, result.best);
+        inform("saved tuner checkpoint {}", config_.checkpoint.path);
+    }
     return result;
 }
 

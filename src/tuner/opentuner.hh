@@ -17,6 +17,7 @@
 #define DIFFTUNE_TUNER_OPENTUNER_HH
 
 #include "bhive/dataset.hh"
+#include "io/checkpoint_hook.hh"
 #include "params/sampling.hh"
 #include "params/simulator.hh"
 
@@ -35,6 +36,13 @@ struct TunerConfig
     double ucbC = 1.4;
     int workers = 0;
     uint64_t seed = 99;
+
+    /**
+     * Checkpointing: with a path set, run() saves the best table
+     * (extracted + masked, as a table-only checkpoint) at the end,
+     * and after every Nth new global best when `every` > 0.
+     */
+    io::CheckpointHook checkpoint;
 };
 
 /** Search techniques in the ensemble. */
