@@ -4,9 +4,27 @@
  * LSTM step, full surrogate forward and forward+backward. These
  * document the per-sample training cost behind the Table IV
  * pipelines.
+ *
+ * All loops reuse one Graph via clear() — the arena-tape idiom every
+ * production call site (BatchRunner shards, the serving engine,
+ * Model::predict) uses; construction is allocation-free in steady
+ * state. The *Unfused variants build the node-per-op reference
+ * composition in a graph that is rebuilt from scratch each iteration
+ * — the pre-rewrite engine's construction pattern — so fused-vs-
+ * unfused is the old-vs-new comparison.
+ *
+ * --smoke additionally runs the old-vs-new harness below, which
+ * prints node counts and the forward+backward speedup ratio and
+ * fails (exit 1) if the ratio drops under the CI floor.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "bench/bench_micro_util.hh"
 
@@ -29,10 +47,11 @@ BM_MatVec(benchmark::State &state)
     params[w].uniformInit(rng, 0.1);
     nn::Tensor x(n, 1);
     x.uniformInit(rng, 1.0);
+    nn::Graph g;
     for (auto _ : state) {
-        nn::Graph g;
+        g.clear();
         nn::Var wv = g.param(params, w, nullptr);
-        benchmark::DoNotOptimize(g.matmul(wv, g.input(nn::Tensor(x))));
+        benchmark::DoNotOptimize(g.matmul(wv, g.input(x)));
     }
     state.SetItemsProcessed(state.iterations() * n * n);
 }
@@ -47,12 +66,12 @@ BM_LstmStep(benchmark::State &state)
     nn::LstmCell cell(params, h, h, rng);
     nn::Tensor x(h, 1);
     x.uniformInit(rng, 1.0);
+    nn::Graph g;
     for (auto _ : state) {
-        nn::Graph g;
+        g.clear();
         nn::Ctx ctx{g, params, nullptr};
         auto s = cell.initial(ctx);
-        benchmark::DoNotOptimize(
-            cell.step(ctx, g.input(nn::Tensor(x)), s));
+        benchmark::DoNotOptimize(cell.step(ctx, g.input(x), s));
     }
 }
 BENCHMARK(BM_LstmStep)->Arg(32)->Arg(64);
@@ -96,27 +115,151 @@ BM_SurrogateForward(benchmark::State &state)
 }
 BENCHMARK(BM_SurrogateForward);
 
+/** One sample's forward+backward in @p g; returns the loss. */
+double
+forwardBackward(nn::Graph &g, nn::Grads &grads, bool fuse)
+{
+    auto &model = benchModel();
+    nn::Ctx ctx{g, model.params(), &grads, fuse};
+    nn::Var pred = g.exp(model.forward(ctx, benchBlock(), {}));
+    nn::Var loss = g.lossMape(pred, 2.0, 0.05);
+    g.backward(loss);
+    return g.scalarValue(loss);
+}
+
 void
 BM_SurrogateForwardBackward(benchmark::State &state)
 {
     auto &model = benchModel();
     nn::Grads grads(model.params());
+    nn::Graph g;
     for (auto _ : state) {
         grads.zero();
-        nn::Graph g;
-        nn::Ctx ctx{g, model.params(), &grads};
-        nn::Var pred = g.exp(model.forward(ctx, benchBlock(), {}));
-        nn::Var loss = g.lossMape(pred, 2.0, 0.05);
-        g.backward(loss);
-        benchmark::DoNotOptimize(g.scalarValue(loss));
+        g.clear();
+        benchmark::DoNotOptimize(forwardBackward(g, grads, true));
     }
 }
 BENCHMARK(BM_SurrogateForwardBackward);
+
+void
+BM_SurrogateForwardBackwardUnfused(benchmark::State &state)
+{
+    auto &model = benchModel();
+    nn::Grads grads(model.params());
+    for (auto _ : state) {
+        grads.zero();
+        // Fresh graph each iteration: the pre-rewrite construction
+        // pattern (no arena reuse).
+        nn::Graph g;
+        benchmark::DoNotOptimize(forwardBackward(g, grads, false));
+    }
+}
+BENCHMARK(BM_SurrogateForwardBackwardUnfused);
+
+// ------------------------------------------------- old-vs-new floor
+
+/** CI floor for fused+reused over unfused+rebuilt (see ISSUE 3). */
+constexpr double speedupFloor = 1.8;
+
+/** Seconds per iteration of one batch of @p iters calls. */
+template <typename Body>
+double
+secPerIter(int iters, const Body &body)
+{
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i)
+        body();
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - start;
+    return dt.count() / iters;
+}
+
+/**
+ * The old-vs-new check. The "old" side reproduces the pre-rewrite
+ * engine: the unfused node-per-op composition, routed through the
+ * frozen PR-1 scalar kernels (Graph::setReferenceKernels), in a
+ * graph rebuilt from scratch each sample (the pre-arena construction
+ * pattern). The "new" side is fused ops in one arena-reused graph.
+ * Prints node counts and the speedup ratio; returns false if the
+ * ratio is under the floor.
+ */
+bool
+runOldVsNewSmoke()
+{
+    auto &model = benchModel();
+    nn::Grads grads(model.params());
+
+    nn::Graph fused_graph;
+    size_t fused_nodes = 0, unfused_nodes = 0;
+    // Warm up both paths (first-touch arena growth, caches).
+    for (int i = 0; i < 3; ++i) {
+        fused_graph.clear();
+        forwardBackward(fused_graph, grads, true);
+        fused_nodes = fused_graph.numNodes();
+        nn::Graph g;
+        g.setReferenceKernels(true);
+        forwardBackward(g, grads, false);
+        unfused_nodes = g.numNodes();
+    }
+
+    // Interleave the two paths rep by rep and take the median of the
+    // per-rep ratios: frequency drift and noisy-neighbour effects on
+    // a shared runner hit both sides of each rep roughly equally.
+    const int reps = 11, iters = 8;
+    std::vector<double> ratios, unfused_times, fused_times;
+    for (int r = 0; r < reps; ++r) {
+        const double unfused_sec = secPerIter(iters, [&] {
+            nn::Graph g;
+            g.setReferenceKernels(true);
+            forwardBackward(g, grads, false);
+        });
+        const double fused_sec = secPerIter(iters, [&] {
+            fused_graph.clear();
+            forwardBackward(fused_graph, grads, true);
+        });
+        ratios.push_back(unfused_sec / fused_sec);
+        unfused_times.push_back(unfused_sec);
+        fused_times.push_back(fused_sec);
+    }
+    std::sort(ratios.begin(), ratios.end());
+    std::sort(unfused_times.begin(), unfused_times.end());
+    std::sort(fused_times.begin(), fused_times.end());
+    const double ratio = ratios[size_t(reps) / 2];
+    const double unfused_sec = unfused_times[size_t(reps) / 2];
+    const double fused_sec = fused_times[size_t(reps) / 2];
+    std::printf("bench_micro_nn old-vs-new: nodes %zu -> %zu, "
+                "fwd+bwd %.3f ms -> %.3f ms, speedup %.2fx "
+                "(floor %.1fx)\n",
+                unfused_nodes, fused_nodes, unfused_sec * 1e3,
+                fused_sec * 1e3, ratio, speedupFloor);
+    if (fused_nodes * 2 >= unfused_nodes) {
+        std::fprintf(stderr,
+                     "FAIL: fused graph has %zu nodes vs %zu "
+                     "unfused — fusion stopped collapsing the "
+                     "tape\n",
+                     fused_nodes, unfused_nodes);
+        return false;
+    }
+    if (ratio < speedupFloor) {
+        std::fprintf(stderr,
+                     "FAIL: fused autograd speedup %.2fx is under "
+                     "the %.1fx floor\n",
+                     ratio, speedupFloor);
+        return false;
+    }
+    return true;
+}
 
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    if (smoke && !runOldVsNewSmoke())
+        return 1;
     return difftune::bench::runMicroBenchMain(argc, argv);
 }

@@ -259,20 +259,35 @@ DiffTune::surrogateFidelity(int samples)
         picks[i].tableSeed = rng.next();
     }
 
-    parallelFor(size_t(samples), config_.workers, [&](size_t i) {
-        const auto &entry = valid[picks[i].entryIdx];
-        const params::ParamTable theta = sampleTable(picks[i]);
-        const auto &block = dataset_.block(entry);
-        const double sim_timing = sim_.timing(block, theta);
+    // One reusable graph per shard (same idiom as BatchRunner): the
+    // arena reset makes the per-sample surrogate forward
+    // allocation-free.
+    parallelShards(size_t(samples), config_.workers,
+                   [&](size_t lo, size_t hi, int) {
+                       nn::Graph graph;
+                       for (size_t i = lo; i < hi; ++i) {
+                           const auto &entry =
+                               valid[picks[i].entryIdx];
+                           const params::ParamTable theta =
+                               sampleTable(picks[i]);
+                           const auto &block = dataset_.block(entry);
+                           const double sim_timing =
+                               sim_.timing(block, theta);
 
-        nn::Graph graph;
-        nn::Ctx ctx{graph, model_->params(), nullptr};
-        auto inputs = constParamInputs(graph, theta, block, norm_);
-        nn::Var pred = graph.exp(
-            model_->forward(ctx, encoded_[entry.blockIdx], inputs));
-        errors[i] = std::fabs(graph.scalarValue(pred) - sim_timing) /
-                    std::max(sim_timing, 0.05);
-    });
+                           graph.clear();
+                           nn::Ctx ctx{graph, model_->params(),
+                                       nullptr};
+                           auto inputs = constParamInputs(
+                               graph, theta, block, norm_);
+                           nn::Var pred = graph.exp(model_->forward(
+                               ctx, encoded_[entry.blockIdx],
+                               inputs));
+                           errors[i] =
+                               std::fabs(graph.scalarValue(pred) -
+                                         sim_timing) /
+                               std::max(sim_timing, 0.05);
+                       }
+                   });
     simulatorEvals_ += samples;
     double total = 0.0;
     for (double e : errors)

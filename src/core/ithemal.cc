@@ -87,13 +87,22 @@ std::vector<double>
 Ithemal::predictAll(const std::vector<bhive::Entry> &entries) const
 {
     std::vector<double> predictions(entries.size());
-    parallelFor(entries.size(), config_.workers, [&](size_t i) {
-        nn::Graph graph;
-        nn::Ctx ctx{graph, model_->params(), nullptr};
-        nn::Var pred = graph.exp(
-            model_->forward(ctx, encoded_[entries[i].blockIdx], {}));
-        predictions[i] = graph.scalarValue(pred);
-    });
+    // One reusable graph per shard: clearing an arena-backed tape is
+    // a pointer reset, so per-entry graph construction is free after
+    // the first block of each shape.
+    parallelShards(entries.size(), config_.workers,
+                   [&](size_t lo, size_t hi, int) {
+                       nn::Graph graph;
+                       for (size_t i = lo; i < hi; ++i) {
+                           graph.clear();
+                           nn::Ctx ctx{graph, model_->params(),
+                                       nullptr};
+                           nn::Var pred = graph.exp(model_->forward(
+                               ctx, encoded_[entries[i].blockIdx],
+                               {}));
+                           predictions[i] = graph.scalarValue(pred);
+                       }
+                   });
     return predictions;
 }
 

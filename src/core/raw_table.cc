@@ -133,16 +133,15 @@ RawTable::paramInputs(nn::Graph &graph, const isa::BasicBlock &block,
     // that range it extrapolates arbitrarily (Section VII). A tanh
     // soft clamp keeps the optimized table inside the trusted region
     // while staying differentiable: cap * tanh(x / cap) is identity
-    // near 0 and saturates smoothly at `cap`.
+    // near 0 and saturates smoothly at `cap`. The fused
+    // scaledSoftClamp op is bit-identical to the primitive chain
+    // scale(tanh(scale(scaleByVec(abs(x), s), 1/cap)), cap).
     constexpr double cap = softClampCap;
-    auto softClamp = [&graph](nn::Var x) {
-        return graph.scale(graph.tanh(graph.scale(x, 1.0 / cap)), cap);
-    };
 
     // |raw globals|, normalized, shared across instructions.
     nn::Var glob = graph.param(params_, globalsIdx_, sink);
-    nn::Var glob_n = softClamp(graph.scaleByVec(
-        graph.abs(glob), {norm_.globals[0], norm_.globals[1]}));
+    nn::Var glob_n = graph.scaledSoftClamp(
+        glob, {norm_.globals[0], norm_.globals[1]}, cap);
 
     std::vector<double> scales(norm_.perOpcode);
     std::vector<nn::Var> result;
@@ -150,8 +149,7 @@ RawTable::paramInputs(nn::Graph &graph, const isa::BasicBlock &block,
     for (const auto &inst : block.insts) {
         nn::Var row = graph.paramRow(params_, perOpcodeIdx_,
                                      int(inst.opcode), sink);
-        nn::Var row_n =
-            softClamp(graph.scaleByVec(graph.abs(row), scales));
+        nn::Var row_n = graph.scaledSoftClamp(row, scales, cap);
         result.push_back(graph.concat({row_n, glob_n}));
     }
     return result;

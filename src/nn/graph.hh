@@ -2,7 +2,7 @@
  * @file
  * Tape-based reverse-mode automatic differentiation.
  *
- * A Graph is a single-use tape: forward ops append nodes, backward()
+ * A Graph is a reusable tape: forward ops append nodes, backward()
  * walks the tape in reverse. Model weights live outside the graph in
  * ParamSets; gradients are accumulated into a Grads buffer aligned
  * with the ParamSet, which makes data-parallel training a matter of
@@ -12,12 +12,57 @@
  * weights (no gradient accumulation, but gradients still flow
  * *through* them) and the trainable parameter table (DiffTune's
  * phase 4).
+ *
+ * # Tape / arena lifecycle
+ *
+ * Nodes are plain structs in one contiguous vector; every value,
+ * gradient and fused-op scratch buffer is bump-allocated from
+ * pointer-stable slab arenas (DoubleArena). clear() is a high-water
+ * mark reset: it drops the tape but keeps every slab and every
+ * vector's capacity, so a Graph that is cleared and rebuilt with the
+ * same shapes (the trainer's per-shard reuse, the serving engine's
+ * per-shard graphs) performs **zero** heap allocation in steady
+ * state, and each node's buffers land at the same addresses each
+ * iteration — the per-node gradient buffers are effectively cached
+ * across minibatch iterations. The tape order *is* the topological
+ * order, so backward() is a single reverse sweep with a switch per
+ * node; there is no std::function indirection and nothing to
+ * re-derive per iteration.
+ *
+ * backward() zeroes all gradient buffers itself (one memset per
+ * arena slab), so each backward() call computes gradients of the
+ * current tape from scratch; parameter gradients still *accumulate*
+ * into the caller's Grads sinks.
+ *
+ * # Fused ops
+ *
+ * The dominant multi-node patterns have single-node fused forms with
+ * hand-written backward kernels:
+ *
+ *   linear()          act(W x + b)      replaces matmul+add(+act)
+ *   lstmStep()        one LSTM cell     replaces ~16 nodes
+ *   scaledSoftClamp() cap*tanh(s|x|/cap)  replaces abs+scaleByVec+
+ *                                         scale+tanh+scale
+ *
+ * dot() is a fused a^T b reduction in the same style; today its
+ * consumers are the gradcheck probes (and any future scalar heads),
+ * not a hot path.
+ *
+ * Every fused kernel replicates the reference composition's
+ * per-element operation order exactly, so fused and unfused graphs
+ * produce bit-identical values and parameter updates (locked in by
+ * tests/test_nn_gradcheck.cc equivalence tests and the golden files
+ * under tests/golden/). To add an op: add an Op tag, a builder that
+ * fills a Node, a backward case, a gradcheck in
+ * tests/test_nn_gradcheck.cc, and — if it replaces a primitive
+ * composition — a bit-exactness test against that composition.
  */
 
 #ifndef DIFFTUNE_NN_GRAPH_HH
 #define DIFFTUNE_NN_GRAPH_HH
 
-#include <functional>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "nn/tensor.hh"
@@ -47,7 +92,7 @@ class ParamSet
 
     /** Serialize all tensors (text, round-trips with load()). */
     std::string save() const;
-    /** Load values saved by save(); shapes must match. */
+    /** Load values saved by save(); version and shapes must match. */
     void load(const std::string &text);
 
   private:
@@ -91,13 +136,85 @@ struct Var
     bool valid() const { return id >= 0; }
 };
 
-/** Single-use reverse-mode tape. */
+/** Elementwise activation selector for fused ops. */
+enum class Act : uint8_t
+{
+    None,
+    Sigmoid,
+    Tanh,
+    Relu,
+};
+
+/**
+ * Non-owning view of a node's value or gradient. Valid until the
+ * owning Graph is cleared or destroyed.
+ */
+struct TensorView
+{
+    int rows = 0;
+    int cols = 0;
+    const double *data = nullptr;
+
+    size_t size() const { return size_t(rows) * size_t(cols); }
+
+    double
+    at(int r, int c) const
+    {
+        return data[size_t(r) * cols + c];
+    }
+
+    /** Pointer to row @p r. */
+    const double *row(int r) const { return data + size_t(r) * cols; }
+};
+
+/**
+ * Bump allocator for double buffers: pointer-stable slabs with a
+ * high-water-mark reset. reset() keeps every slab, so identical
+ * allocation sequences reuse identical addresses with no heap
+ * traffic.
+ */
+class DoubleArena
+{
+  public:
+    /** Allocate @p n doubles (uninitialized). Stable address. */
+    double *alloc(size_t n);
+
+    /** High-water-mark reset: drop all allocations, keep slabs. */
+    void reset();
+
+    /** memset every double handed out since the last reset() to 0. */
+    void zeroUsed();
+
+    /** Doubles handed out since the last reset(). */
+    size_t usedDoubles() const { return used_; }
+
+  private:
+    /** First slab: 1 k doubles = 8 KB. */
+    static constexpr size_t firstSlabDoubles = size_t(1) << 10;
+    /** Slab size cap: 256 k doubles = 2 MB. */
+    static constexpr size_t maxSlabDoubles = size_t(1) << 18;
+
+    struct Slab
+    {
+        std::unique_ptr<double[]> data;
+        size_t cap = 0;
+        size_t used = 0;
+    };
+
+    std::vector<Slab> slabs_;
+    size_t cur_ = 0;  ///< slab currently allocated from
+    size_t used_ = 0; ///< total doubles since reset()
+};
+
+/** Reusable reverse-mode tape (see file comment for the lifecycle). */
 class Graph
 {
   public:
     Graph() = default;
+    Graph(const Graph &) = delete;
+    Graph &operator=(const Graph &) = delete;
 
-    /** Reset the tape for reuse (keeps capacity). */
+    /** Reset the tape for reuse (keeps slabs and capacity). */
     void clear();
 
     /**
@@ -110,11 +227,14 @@ class Graph
 
     // ---- Leaves
 
-    /** Constant input (no gradient). */
-    Var input(Tensor value);
+    /** Constant input (no gradient); the value is copied in. */
+    Var input(const Tensor &value);
 
     /** Constant scalar column-vector input of size 1. */
     Var inputScalar(double value);
+
+    /** Constant all-zero (rows x cols) input. */
+    Var zeros(int rows, int cols);
 
     /**
      * Parameter leaf. If @p sink is non-null, backward() accumulates
@@ -130,14 +250,14 @@ class Graph
     Var paramRow(const ParamSet &params, int index, int row,
                  Grads *sink);
 
-    // ---- Ops (all shapes are checked)
+    // ---- Primitive ops (all shapes are checked)
 
-    Var matmul(Var a, Var b);       ///< (m x k) * (k x n)
-    Var add(Var a, Var b);          ///< elementwise
-    Var sub(Var a, Var b);          ///< elementwise
-    Var mul(Var a, Var b);          ///< elementwise (Hadamard)
-    Var scale(Var a, double c);     ///< a * c
-    Var scaleByVec(Var a, std::vector<double> factors); ///< per-element
+    Var matmul(Var a, Var b);   ///< (m x k) * (k x n)
+    Var add(Var a, Var b);      ///< elementwise
+    Var sub(Var a, Var b);      ///< elementwise
+    Var mul(Var a, Var b);      ///< elementwise (Hadamard)
+    Var scale(Var a, double c); ///< a * c
+    Var scaleByVec(Var a, const std::vector<double> &factors);
     Var sigmoid(Var a);
     Var tanh(Var a);
     Var relu(Var a);
@@ -145,6 +265,35 @@ class Graph
     Var exp(Var a); ///< elementwise e^x (clamped at x = 30 for safety)
     Var slice(Var a, int row0, int nrows); ///< rows of a column vector
     Var concat(const std::vector<Var> &parts); ///< stack column vectors
+
+    // ---- Fused ops (bit-identical to their primitive compositions)
+
+    /** act(W x + b): fused matmul + bias + activation. */
+    Var linear(Var w, Var x, Var b, Act act = Act::None);
+
+    /** Hidden and cell state of one fused LSTM step. */
+    struct LstmState
+    {
+        Var h;
+        Var c;
+    };
+
+    /**
+     * One fused LSTM cell step (gate order [i f g o], forget-gate
+     * layout as in modules.cc). One node replaces the ~16-node
+     * primitive composition.
+     */
+    LstmState lstmStep(Var wx, Var wh, Var bias, Var x, Var h, Var c);
+
+    /** Fused dot-product reduction a^T b for column vectors (1x1). */
+    Var dot(Var a, Var b);
+
+    /**
+     * cap * tanh(scales_i * |a_i| / cap): the parameter-table input
+     * soft clamp, fused from abs + scaleByVec + scale + tanh + scale.
+     */
+    Var scaledSoftClamp(Var a, const std::vector<double> &scales,
+                        double cap);
 
     // ---- Losses (scalar outputs; target is a constant)
 
@@ -157,43 +306,118 @@ class Graph
 
     // ---- Access
 
-    const Tensor &value(Var v) const { return nodes_[v.id].value; }
-    const Tensor &grad(Var v) const { return nodes_[v.id].grad; }
+    TensorView value(Var v) const;
+    TensorView grad(Var v) const;
 
     /** Scalar value of a 1x1 node. */
-    double scalarValue(Var v) const { return value(v).data[0]; }
+    double scalarValue(Var v) const;
 
     /**
-     * Reverse pass from @p loss (must be 1x1). Seeds d(loss)/d(loss)
-     * = @p seed and accumulates into parameter sinks.
+     * Reverse pass from @p loss (must be 1x1). Zeroes all node
+     * gradients, seeds d(loss)/d(loss) = @p seed and accumulates
+     * into parameter sinks.
      */
     void backward(Var loss, double seed = 1.0);
 
     size_t numNodes() const { return nodes_.size(); }
 
-  private:
-    struct Node
+    /**
+     * Route the primitive matmul's matrix-vector paths through the
+     * frozen pre-rewrite kernels (nn/ref_kernels.cc). Bit-identical
+     * results, pre-rewrite speed — the "old" side of
+     * bench_micro_nn's old-vs-new floor. Off by default.
+     */
+    void setReferenceKernels(bool on) { refKernels_ = on; }
+
+    /** Doubles currently allocated across both arenas (stats). */
+    size_t
+    arenaDoubles() const
     {
-        Tensor value;
-        Tensor grad;
-        bool requiresGrad = false;
-        /** Reverse-propagate this node's grad to its inputs. */
-        std::function<void(Graph &, Node &)> backward;
+        return varena_.usedDoubles() + garena_.usedDoubles();
+    }
+
+  private:
+    enum class Op : uint8_t
+    {
+        Input,
+        Param,
+        ParamRow,
+        Matmul,
+        Add,
+        Sub,
+        Mul,
+        Scale,
+        ScaleVec,
+        Sigmoid,
+        Tanh,
+        Relu,
+        Abs,
+        Exp,
+        Slice,
+        Concat,
+        Linear,
+        LstmCell,
+        Dot,
+        SoftClamp,
+        LossMape,
+        LossMae,
+        LossMse,
     };
 
-    Node &node(Var v) { return nodes_[v.id]; }
+    /**
+     * One tape entry. Trivially destructible: all buffers live in
+     * the arenas, operand lists in extraVars_, op constants in
+     * extraData_.
+     */
+    struct Node
+    {
+        Op op = Op::Input;
+        Act act = Act::None;
+        bool requiresGrad = false;
+        /** Gradient seeded during the current backward() sweep. */
+        bool gradLive = false;
+        int rows = 0;
+        int cols = 0;
+        double *val = nullptr;  ///< value, varena_ (Slice: aliased)
+        double *grad = nullptr; ///< gradient, garena_ (if needed)
+        double *aux = nullptr;  ///< fused-op saved state / scratch
+        int32_t a = -1, b = -1, c = -1; ///< operand node ids
+        int32_t extra = -1; ///< offset into extraVars_ / extraData_
+        int32_t i0 = 0, i1 = 0; ///< small int payload
+        double c0 = 0.0, c1 = 0.0; ///< small double payload
+        Grads *sink = nullptr; ///< Param/ParamRow gradient sink
+    };
 
-    Var makeNode(Tensor value, bool requires_grad,
-                 std::function<void(Graph &, Node &)> backward);
+    Node &node(Var v) { return nodes_[size_t(v.id)]; }
+    const Node &node(Var v) const { return nodes_[size_t(v.id)]; }
 
-    /** Ensure the grad tensor of @p v is allocated. */
-    Tensor &gradRef(Var v);
+    /**
+     * Append a node with a (rows x cols) value buffer and optional
+     * aux space; allocates a gradient buffer iff @p requires_grad.
+     */
+    Var pushNode(Op op, int rows, int cols, bool requires_grad,
+                 size_t aux_doubles = 0);
+
+    /** pushNode without a value allocation (Slice aliases). */
+    Var pushAliasNode(Op op, int rows, int cols, bool requires_grad,
+                      double *val);
+
+    Var unaryElementwise(Op op, Var a);
+    Var lossNode(Op op, Var pred, double target, double value,
+                 double denom);
+
+    void backwardNode(Node &n);
 
     std::vector<Node> nodes_;
     /** (param-set address ^ index ^ row) -> node cache. */
     std::vector<std::pair<uint64_t, Var>> paramCache_;
-
-    friend struct GraphTestPeer;
+    /** Operand-id overflow lists (Concat parts, LstmCell inputs). */
+    std::vector<int32_t> extraVars_;
+    /** Per-op constant vectors (scaleByVec / soft-clamp scales). */
+    std::vector<double> extraData_;
+    DoubleArena varena_; ///< values + fused-op aux
+    DoubleArena garena_; ///< gradients (zeroed per backward())
+    bool refKernels_ = false; ///< see setReferenceKernels()
 };
 
 } // namespace difftune::nn

@@ -51,6 +51,8 @@ Linear::forward(Ctx &ctx, Var x) const
     Graph &g = ctx.graph;
     Var w = g.param(ctx.params, weight_, ctx.sink);
     Var b = g.param(ctx.params, bias_, ctx.sink);
+    if (ctx.fuse)
+        return g.linear(w, x, b, Act::None);
     return g.add(g.matmul(w, x), b);
 }
 
@@ -72,8 +74,8 @@ LstmCell::LstmCell(ParamSet &params, int in, int hidden, Rng &rng)
 LstmCell::State
 LstmCell::initial(Ctx &ctx) const
 {
-    Var zero_h = ctx.graph.input(Tensor(hidden_, 1));
-    Var zero_c = ctx.graph.input(Tensor(hidden_, 1));
+    Var zero_h = ctx.graph.zeros(hidden_, 1);
+    Var zero_c = ctx.graph.zeros(hidden_, 1);
     return {zero_h, zero_c};
 }
 
@@ -85,6 +87,14 @@ LstmCell::step(Ctx &ctx, Var x, const State &state) const
     Var wh = g.param(ctx.params, wh_, ctx.sink);
     Var b = g.param(ctx.params, bias_, ctx.sink);
 
+    if (ctx.fuse) {
+        Graph::LstmState next =
+            g.lstmStep(wx, wh, b, x, state.h, state.c);
+        return {next.h, next.c};
+    }
+
+    // Reference node-per-op composition; the fused kernel above must
+    // stay bit-identical to this (see tests/test_nn_gradcheck.cc).
     Var gates = g.add(g.add(g.matmul(wx, x), g.matmul(wh, state.h)), b);
     Var in_gate = g.sigmoid(g.slice(gates, 0, hidden_));
     Var forget_gate = g.sigmoid(g.slice(gates, hidden_, hidden_));

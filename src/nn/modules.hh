@@ -26,6 +26,13 @@ struct Ctx
     Graph &graph;
     const ParamSet &params;
     Grads *sink = nullptr; ///< null: frozen (inference / phase 4)
+    /**
+     * Build fused single-node ops (the default). false builds the
+     * node-per-op reference composition instead — bit-identical
+     * results, many more nodes; used by the equivalence tests and
+     * the old-vs-new comparison in bench_micro_nn.
+     */
+    bool fuse = true;
 };
 
 /** Token-embedding lookup table. */

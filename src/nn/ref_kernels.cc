@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reference kernel implementations — see the header for why these
+ * must stay naive and must not be compiled with -O3.
+ */
+
+#include "nn/ref_kernels.hh"
+
+#include <cstddef>
+
+namespace difftune::nn
+{
+
+void
+refMatvecForward(const double *w, const double *x, double *out,
+                 int rows, int cols)
+{
+    for (int i = 0; i < rows; ++i) {
+        const double *wrow = w + size_t(i) * cols;
+        double sum = 0.0;
+        for (int k = 0; k < cols; ++k)
+            sum += wrow[k] * x[k];
+        out[i] = sum;
+    }
+}
+
+void
+refMatvecBackward(const double *w, double *wgrad, const double *x,
+                  double *xgrad, int rows, int cols, const double *dz)
+{
+    if (wgrad) {
+        for (int i = 0; i < rows; ++i) {
+            const double dci = dz[i];
+            if (dci == 0.0)
+                continue;
+            double *wrow = wgrad + size_t(i) * cols;
+            for (int k = 0; k < cols; ++k)
+                wrow[k] += dci * x[k];
+        }
+    }
+    if (xgrad) {
+        for (int i = 0; i < rows; ++i) {
+            const double dci = dz[i];
+            if (dci == 0.0)
+                continue;
+            const double *wrow = w + size_t(i) * cols;
+            for (int k = 0; k < cols; ++k)
+                xgrad[k] += wrow[k] * dci;
+        }
+    }
+}
+
+} // namespace difftune::nn

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Frozen copies of the pre-rewrite (PR 1) autograd matvec kernels.
+ *
+ * These are the naive single-accumulator loops the engine shipped
+ * before the fused/arena rewrite, kept in their own translation unit
+ * at the default Release optimization level (no -O3 vectorization)
+ * so they stay representative of the old engine's per-sample cost.
+ * Graph::setReferenceKernels(true) routes the primitive matmul
+ * through them; bench_micro_nn's old-vs-new floor uses that mode as
+ * the "old" side of the comparison. They compute bit-identical
+ * results to the optimized kernels (same per-element order), which
+ * tests/test_nn_gradcheck.cc asserts.
+ */
+
+#ifndef DIFFTUNE_NN_REF_KERNELS_HH
+#define DIFFTUNE_NN_REF_KERNELS_HH
+
+namespace difftune::nn
+{
+
+/** out = W x (naive single-accumulator rows loop). */
+void refMatvecForward(const double *w, const double *x, double *out,
+                      int rows, int cols);
+
+/**
+ * dW[i,:] += dz_i * x^T (if @p wgrad) and dx += W^T dz (if
+ * @p xgrad), rows ascending, dz_i == 0 rows skipped.
+ */
+void refMatvecBackward(const double *w, double *wgrad,
+                       const double *x, double *xgrad, int rows,
+                       int cols, const double *dz);
+
+} // namespace difftune::nn
+
+#endif // DIFFTUNE_NN_REF_KERNELS_HH

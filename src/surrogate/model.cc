@@ -52,7 +52,11 @@ Model::forward(nn::Ctx &ctx, const EncodedBlock &block,
 double
 Model::predict(const EncodedBlock &block) const
 {
-    nn::Graph graph;
+    // One reusable arena-backed graph per thread: predict() runs in
+    // tight per-block loops (evaluation, benches), where clear()
+    // reuse makes tape construction allocation-free.
+    static thread_local nn::Graph graph;
+    graph.clear();
     nn::Ctx ctx{graph, params_, nullptr};
     nn::Var pred = forward(ctx, block, {});
     return graph.scalarValue(pred);
