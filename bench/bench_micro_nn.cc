@@ -29,6 +29,7 @@
 #include "bench/bench_micro_util.hh"
 
 #include "isa/parse.hh"
+#include "nn/batched.hh"
 #include "nn/modules.hh"
 #include "surrogate/model.hh"
 
@@ -114,6 +115,62 @@ BM_SurrogateForward(benchmark::State &state)
         benchmark::DoNotOptimize(model.predict(benchBlock()));
 }
 BENCHMARK(BM_SurrogateForward);
+
+/** A small pool of distinct blocks for the batched forward benches. */
+const std::vector<surrogate::EncodedBlock> &
+benchBlockPool()
+{
+    static const std::vector<surrogate::EncodedBlock> pool = [] {
+        const std::vector<std::string> texts = {
+            "MOV64rm 8(%rsi), %rdi\nADD64rr %rdi, %rbx\n"
+            "IMUL64rr %rbx, %rcx\nCMP64rr %rcx, %rdx\nPUSH64r %rbx\n",
+            "ADD32rr %ebx, %ecx\nNOP\n",
+            "IMUL64rr %rbx, %rcx\n",
+            "PUSH64r %rbx\nPOP64r %rcx\nADD32rr %ebx, %ecx\n",
+        };
+        std::vector<surrogate::EncodedBlock> blocks;
+        for (const auto &text : texts)
+            blocks.push_back(
+                surrogate::encodeBlock(isa::parseBlock(text)));
+        return blocks;
+    }();
+    return pool;
+}
+
+/**
+ * The batched multi-block forward (nn/batched.hh) at batch sizes
+ * 1/8/32, per block: the serving engine's per-shard execution mode.
+ * Compare items/s against BM_SurrogateForward for the per-block win;
+ * the f32 variant additionally runs the polynomial-transcendental
+ * single-precision kernels (accuracy-gated, serving only).
+ */
+template <nn::Precision P>
+void
+BM_SurrogatePredictBatch(benchmark::State &state)
+{
+    auto &model = benchModel();
+    const auto &pool = benchBlockPool();
+    const size_t batch = size_t(state.range(0));
+    std::vector<const surrogate::EncodedBlock *> blocks;
+    for (size_t i = 0; i < batch; ++i)
+        blocks.push_back(&pool[i % pool.size()]);
+    nn::BatchedForward bf(model.params(), P);
+    std::vector<double> out;
+    for (auto _ : state) {
+        model.predictBatch(bf, blocks, {}, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(batch));
+}
+BENCHMARK(BM_SurrogatePredictBatch<nn::Precision::kF64>)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32);
+BENCHMARK(BM_SurrogatePredictBatch<nn::Precision::kF32>)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32);
 
 /** One sample's forward+backward in @p g; returns the loss. */
 double

@@ -9,15 +9,21 @@
  *   difftune_serve save-ithemal <uarch> <out.ckpt> [corpus_size]
  *       Train the Ithemal baseline and save a model-only checkpoint.
  *   difftune_serve info <ckpt>
- *       Print the checkpoint's sections and dimensions.
+ *       Print the checkpoint's sections, dimensions and weight
+ *       precision.
  *   difftune_serve predict <ckpt> <block.s|->...
  *       Load the checkpoint once and predict each block file's
  *       timing (one result line per file; '-' reads stdin). Printed
  *       with 17 significant digits so values can be compared
  *       bit-exactly across processes.
- *   difftune_serve bench <ckpt> [requests] [unique_blocks]
+ *   difftune_serve convert <in.ckpt> <out.ckpt> [f32|f64]
+ *       Re-encode a checkpoint's model weights (default f32: a
+ *       half-size serving-only artifact; see
+ *       docs/CHECKPOINT_FORMAT.md for the format-version semantics).
+ *   difftune_serve bench <ckpt> [requests] [unique_blocks] [--f32]
  *       Measure cold-load latency and batched-engine vs naive
- *       throughput on a skewed synthetic workload.
+ *       throughput on a skewed synthetic workload; --f32 serves the
+ *       engine pass in the accuracy-gated float mode.
  *
  * Blocks use the canonical syntax printed by the library, one
  * instruction per line.
@@ -153,7 +159,8 @@ cmdInfo(int argc, char **argv)
                   << ", block layers " << cfg.blockLayers
                   << ", paramDim " << cfg.paramDim << ", vocab "
                   << ckpt.vocabSize << ", "
-                  << ckpt.model->params().scalarCount()
+                  << ckpt.model->params().scalarCount() << " "
+                  << nn::precisionName(ckpt.weightPrecision)
                   << " weights\n";
     }
     if (ckpt.dist)
@@ -176,15 +183,54 @@ cmdPredict(int argc, char **argv)
 }
 
 int
+cmdConvert(int argc, char **argv)
+{
+    fatal_if(argc < 4, "usage: convert <in.ckpt> <out.ckpt> "
+                       "[f32|f64]");
+    const std::string mode = argc > 4 ? argv[4] : "f32";
+    fatal_if(mode != "f32" && mode != "f64",
+             "unknown weight precision '{}' (expected f32 or f64)",
+             mode);
+    io::Checkpoint ckpt = io::loadCheckpoint(argv[2]);
+    fatal_if(!ckpt.model, "'{}' carries no model to convert",
+             argv[2]);
+    io::saveCheckpoint(argv[3], ckpt.model.get(),
+                       ckpt.dist ? &*ckpt.dist : nullptr,
+                       ckpt.table ? &*ckpt.table : nullptr,
+                       mode == "f32" ? nn::Precision::kF32
+                                     : nn::Precision::kF64);
+    std::cout << argv[2] << " ("
+              << std::filesystem::file_size(argv[2]) << " bytes, "
+              << nn::precisionName(ckpt.weightPrecision) << ") -> "
+              << argv[3] << " ("
+              << std::filesystem::file_size(argv[3]) << " bytes, "
+              << mode << ")\n";
+    return 0;
+}
+
+int
 cmdBench(int argc, char **argv)
 {
-    fatal_if(argc < 3, "usage: bench <ckpt> [requests] [unique]");
-    const std::string path = argv[2];
-    const size_t requests = argc > 3 ? std::stoul(argv[3]) : 4000;
-    const size_t unique = argc > 4 ? std::stoul(argv[4]) : 400;
+    bool f32 = false;
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::string(argv[i]) == "--f32")
+            f32 = true;
+        else
+            args.push_back(argv[i]);
+    }
+    fatal_if(args.size() < 3,
+             "usage: bench <ckpt> [requests] [unique] [--f32]");
+    const std::string path = args[2];
+    const size_t requests =
+        args.size() > 3 ? std::stoul(args[3]) : 4000;
+    const size_t unique = args.size() > 4 ? std::stoul(args[4]) : 400;
 
+    serve::ServeConfig cfg;
+    if (f32)
+        cfg.precision = nn::Precision::kF32;
     const auto load_begin = std::chrono::steady_clock::now();
-    auto engine = serve::PredictionEngine::fromFile(path);
+    auto engine = serve::PredictionEngine::fromFile(path, cfg);
     const auto load_end = std::chrono::steady_clock::now();
     const double load_ms =
         1e3 * serve::secondsBetween(load_begin, load_end);
@@ -195,9 +241,11 @@ cmdBench(int argc, char **argv)
     const auto workload = serve::powerLawWorkload(
         corpus, requests, corpus.size(), 0x5e77e);
 
-    // Naive (fresh graph per request) vs the batched engine, waves
-    // of requests as at a serving endpoint (see serve/workload.hh).
-    const auto timing = serve::compareThroughput(engine, workload);
+    // Naive (fresh double graph per request) vs the batched engine,
+    // waves of requests as at a serving endpoint (serve/workload.hh).
+    // The f32 engine is accuracy-gated rather than bit-gated.
+    const auto timing = serve::compareThroughput(
+        engine, workload, 250, f32 ? 1e-5 : 0.0);
 
     const auto &stats = engine.stats();
     std::cout << "workload: " << workload.size() << " requests over "
@@ -207,9 +255,15 @@ cmdBench(int argc, char **argv)
               << " blocks/s\n"
               << "engine: "
               << fmtDouble(double(requests) / timing.engineSeconds, 0)
-              << " blocks/s (" << engine.workers() << " workers, "
-              << stats.hits << " cache hits, speedup "
+              << " blocks/s ("
+              << nn::precisionName(engine.precision()) << ", "
+              << engine.workers() << " workers, " << stats.hits
+              << " cache hits, speedup "
               << fmtDouble(timing.speedup(), 1) << "x)\n";
+    if (f32)
+        std::cout << "max rel err vs double: "
+                  << fmtDouble(timing.maxRelErr * 1e6, 2)
+                  << "e-6 (gate 1e-5)\n";
     return 0;
 }
 
@@ -220,7 +274,8 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::cerr << "usage: difftune_serve "
-                     "<save|save-ithemal|info|predict|bench> ...\n";
+                     "<save|save-ithemal|info|predict|convert|"
+                     "bench> ...\n";
         return 2;
     }
     const std::string command = argv[1];
@@ -233,6 +288,8 @@ main(int argc, char **argv)
             return cmdInfo(argc, argv);
         if (command == "predict")
             return cmdPredict(argc, argv);
+        if (command == "convert")
+            return cmdConvert(argc, argv);
         if (command == "bench")
             return cmdBench(argc, argv);
         std::cerr << "unknown command '" << command << "'\n";

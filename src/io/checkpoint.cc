@@ -24,13 +24,22 @@ ChunkWriter::add(std::string_view tag, std::string payload)
     chunks_.push_back(Chunk{std::string(tag), std::move(payload)});
 }
 
+void
+ChunkWriter::requireVersion(uint32_t version)
+{
+    panic_if(version < 1 || version > checkpointVersion,
+             "requireVersion: {} outside the writable range [1, {}]",
+             version, checkpointVersion);
+    version_ = std::max(version_, version);
+}
+
 std::string
 ChunkWriter::serialize() const
 {
     ByteWriter writer;
     writer.bytes(std::string_view(checkpointMagic,
                                   sizeof(checkpointMagic)));
-    writer.u32(checkpointVersion);
+    writer.u32(version_);
     writer.u32(uint32_t(chunks_.size()));
     for (const Chunk &chunk : chunks_) {
         writer.bytes(chunk.tag);
@@ -62,8 +71,9 @@ ChunkReader::ChunkReader(std::string bytes) : bytes_(std::move(bytes))
                  std::string_view(checkpointMagic, sizeof(checkpointMagic)),
              "not a difftune checkpoint (bad magic)");
     const uint32_t version = reader.u32();
-    fatal_if(version != checkpointVersion,
-             "unsupported checkpoint version {} (this build reads {})",
+    fatal_if(version < 1 || version > checkpointVersion,
+             "unsupported checkpoint version {} (this build reads "
+             "1..{})",
              version, checkpointVersion);
     const uint32_t count = reader.u32();
     chunks_.reserve(count);
@@ -154,6 +164,43 @@ decodeParamSet(std::string_view payload, nn::ParamSet &params)
                  i, rows, cols, tensor.rows, tensor.cols);
         for (double &v : tensor.data)
             v = reader.f64();
+    }
+    reader.expectEnd();
+}
+
+std::string
+encodeParamSetF32(const nn::ParamSet &params)
+{
+    ByteWriter writer;
+    writer.u64(params.count());
+    for (size_t i = 0; i < params.count(); ++i) {
+        const nn::Tensor &tensor = params[int(i)];
+        writer.i32(tensor.rows);
+        writer.i32(tensor.cols);
+        for (double v : tensor.data)
+            writer.f32(float(v));
+    }
+    return writer.take();
+}
+
+void
+decodeParamSetF32(std::string_view payload, nn::ParamSet &params)
+{
+    ByteReader reader(payload, "f32 weights chunk");
+    const uint64_t count = reader.u64();
+    fatal_if(count != params.count(),
+             "f32 weights chunk has {} tensors, model expects {}",
+             count, params.count());
+    for (size_t i = 0; i < params.count(); ++i) {
+        nn::Tensor &tensor = params[int(i)];
+        const int32_t rows = reader.i32();
+        const int32_t cols = reader.i32();
+        fatal_if(rows != tensor.rows || cols != tensor.cols,
+                 "f32 weights chunk tensor {} is {}x{}, model "
+                 "expects {}x{}",
+                 i, rows, cols, tensor.rows, tensor.cols);
+        for (double &v : tensor.data)
+            v = double(reader.f32());
     }
     reader.expectEnd();
 }
@@ -323,7 +370,7 @@ expectedModelScalars(const surrogate::ModelConfig &config, size_t vocab)
 void
 saveCheckpoint(const std::string &path, const surrogate::Model *model,
                const params::SamplingDist *dist,
-               const params::ParamTable *table)
+               const params::ParamTable *table, nn::Precision weights)
 {
     panic_if(!model && !dist && !table,
              "refusing to save an empty checkpoint");
@@ -332,7 +379,17 @@ saveCheckpoint(const std::string &path, const surrogate::Model *model,
         writer.add(tagModelConfig,
                    encodeModelConfig(model->config(),
                                      isa::theVocab().size()));
-        writer.add(tagModelWeights, encodeParamSet(model->params()));
+        if (weights == nn::Precision::kF32) {
+            // The f32 weights chunk is a version-2 feature; stamping
+            // the file v2 makes old readers reject it cleanly
+            // instead of failing on the unknown tag's absence.
+            writer.add(tagModelWeightsF32,
+                       encodeParamSetF32(model->params()));
+            writer.requireVersion(2);
+        } else {
+            writer.add(tagModelWeights,
+                       encodeParamSet(model->params()));
+        }
     }
     if (dist)
         writer.add(tagSamplingDist, encodeSamplingDist(*dist));
@@ -353,28 +410,37 @@ loadCheckpoint(const std::string &path)
 {
     const ChunkReader reader = ChunkReader::fromFile(path);
     Checkpoint checkpoint;
+    const bool has_f64 = reader.has(tagModelWeights);
+    const bool has_f32 = reader.has(tagModelWeightsF32);
+    fatal_if(has_f64 && has_f32,
+             "corrupt checkpoint: both f64 and f32 weight chunks");
     if (reader.has(tagModelConfig)) {
-        fatal_if(!reader.has(tagModelWeights),
+        fatal_if(!has_f64 && !has_f32,
                  "checkpoint has a model config but no weights");
         const surrogate::ModelConfig config = decodeModelConfig(
             reader.payload(tagModelConfig), checkpoint.vocabSize);
         // Bound the Model allocation by the weights actually on disk
         // before constructing it — a crafted config chunk must not be
         // able to demand terabytes the weights chunk does not hold.
+        const std::string_view weights = reader.payload(
+            has_f64 ? tagModelWeights : tagModelWeightsF32);
         const double expected =
             expectedModelScalars(config, checkpoint.vocabSize);
-        const double stored_bytes =
-            double(reader.payload(tagModelWeights).size());
-        fatal_if(expected * 8.0 > stored_bytes,
+        const double scalar_bytes = has_f64 ? 8.0 : 4.0;
+        fatal_if(expected * scalar_bytes > double(weights.size()),
                  "corrupt checkpoint: model config implies {} weight "
                  "scalars but the weights chunk holds {} bytes",
-                 expected, stored_bytes);
+                 expected, weights.size());
         checkpoint.model = std::make_unique<surrogate::Model>(
             config, checkpoint.vocabSize);
-        decodeParamSet(reader.payload(tagModelWeights),
-                       checkpoint.model->params());
+        if (has_f64) {
+            decodeParamSet(weights, checkpoint.model->params());
+        } else {
+            decodeParamSetF32(weights, checkpoint.model->params());
+            checkpoint.weightPrecision = nn::Precision::kF32;
+        }
     } else {
-        fatal_if(reader.has(tagModelWeights),
+        fatal_if(has_f64 || has_f32,
                  "checkpoint has model weights but no config");
     }
     if (reader.has(tagSamplingDist))

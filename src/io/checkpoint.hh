@@ -2,10 +2,12 @@
  * @file
  * Versioned binary checkpoint container.
  *
- * Layout (all integers little-endian; see io/serialize.hh):
+ * The byte-level specification lives in docs/CHECKPOINT_FORMAT.md —
+ * keep the two in sync. Layout sketch (all integers little-endian;
+ * see io/serialize.hh):
  *
  *     magic   "DTCHKPT\0"                    8 bytes
- *     u32     format version (currently 1)
+ *     u32     format version (1, or 2 with an f32 weights chunk)
  *     u32     chunk count
  *     chunk*  [ tag (4 bytes) | u64 payload size | payload
  *               | u32 CRC-32 of payload ]
@@ -23,6 +25,15 @@
  * params::SamplingDist it was trained under (needed to rebuild the
  * input normalizer when serving a paramDim > 0 surrogate), and a
  * learned params::ParamTable. Round trips are bit-exact.
+ *
+ * Model weights come in two encodings: "WTS0" (doubles — training
+ * checkpoints, bit-exact) and "WF32" (floats — serving-only
+ * artifacts at half the size, written by saveCheckpoint with
+ * nn::Precision::kF32). A file with a WF32 chunk is stamped format
+ * version 2, so version-1 readers reject it at load instead of
+ * misreading it; files without one keep version 1 for backward
+ * compatibility. See docs/CHECKPOINT_FORMAT.md for the payload
+ * schemas and the exact rejection behavior.
  */
 
 #ifndef DIFFTUNE_IO_CHECKPOINT_HH
@@ -43,12 +54,18 @@ namespace difftune::io
 inline constexpr char checkpointMagic[8] = {'D', 'T', 'C', 'H',
                                             'K', 'P', 'T', '\0'};
 
-/** Current container format version. */
-inline constexpr uint32_t checkpointVersion = 1;
+/**
+ * Newest container format version this build reads and writes.
+ * Writers stamp the *lowest* version whose feature set the file
+ * actually uses (see ChunkWriter::requireVersion), so old readers
+ * only reject files they genuinely cannot decode.
+ */
+inline constexpr uint32_t checkpointVersion = 2;
 
 /** Well-known chunk tags. */
 inline constexpr const char *tagModelConfig = "MCFG";
 inline constexpr const char *tagModelWeights = "WTS0";
+inline constexpr const char *tagModelWeightsF32 = "WF32"; ///< v2+
 inline constexpr const char *tagParamTable = "PTBL";
 inline constexpr const char *tagSamplingDist = "DIST";
 
@@ -58,6 +75,13 @@ class ChunkWriter
   public:
     /** Append a chunk; @p tag must be exactly 4 characters. */
     void add(std::string_view tag, std::string payload);
+
+    /**
+     * Declare that the file needs at least format @p version (e.g.
+     * 2 when a WF32 chunk is present). The header carries the
+     * maximum declared; default 1.
+     */
+    void requireVersion(uint32_t version);
 
     /** Serialize header + all chunks. */
     std::string serialize() const;
@@ -72,6 +96,7 @@ class ChunkWriter
         std::string payload;
     };
 
+    uint32_t version_ = 1;
     std::vector<Chunk> chunks_;
 };
 
@@ -114,6 +139,16 @@ std::string encodeParamSet(const nn::ParamSet &params);
  */
 void decodeParamSet(std::string_view payload, nn::ParamSet &params);
 
+/**
+ * Encode all tensors of @p params narrowed to f32 (the WF32 chunk:
+ * half the bytes; serving-only precision). Narrow-then-widen round
+ * trips reproduce the narrowed values exactly.
+ */
+std::string encodeParamSetF32(const nn::ParamSet &params);
+
+/** Decode weights encoded by encodeParamSetF32 (shapes must match). */
+void decodeParamSetF32(std::string_view payload, nn::ParamSet &params);
+
 std::string encodeParamTable(const params::ParamTable &table);
 params::ParamTable decodeParamTable(std::string_view payload);
 
@@ -133,16 +168,29 @@ struct Checkpoint
     std::optional<params::SamplingDist> dist;
     /** Learned simulator parameter table. */
     std::optional<params::ParamTable> table;
+    /**
+     * Encoding the weights were stored in. kF32 weights load as
+     * float-valued doubles: serving them through an f32 engine is
+     * bit-identical to serving the original f64 checkpoint through
+     * one, but double-precision results will differ slightly from
+     * the original's — an f32 file is a serving artifact, not a
+     * training checkpoint.
+     */
+    nn::Precision weightPrecision = nn::Precision::kF64;
 };
 
 /**
  * Save a checkpoint to @p path. Null/absent sections are omitted; at
- * least one section must be present.
+ * least one section must be present. @p weights selects the model
+ * weight encoding: kF64 writes a bit-exact (v1) file, kF32 writes a
+ * half-size serving-only (v2) file — see Checkpoint::weightPrecision
+ * for the semantics.
  */
 void saveCheckpoint(const std::string &path,
                     const surrogate::Model *model,
                     const params::SamplingDist *dist,
-                    const params::ParamTable *table);
+                    const params::ParamTable *table,
+                    nn::Precision weights = nn::Precision::kF64);
 
 /** Convenience: table-only checkpoint (tuner artifacts). */
 void saveTableCheckpoint(const std::string &path,

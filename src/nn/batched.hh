@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Batched multi-block forward inference: the serving-side execution
+ * mode of the nn/ substrate (no tape, shared weight reads, optional
+ * single-precision kernels).
+ *
+ * The autograd Graph executes one block at a time and pays tape
+ * construction per node. BatchedForward runs N ragged sequences
+ * ("lanes") through an LSTM stack in lockstep with no tape at all:
+ * per step, each layer's weight panel streams over every active
+ * lane back to back (cache-hot instead of re-fetched per block),
+ * and two forward-only shortcuts exploit frozenness:
+ *
+ *  - first-step skip: a lane's initial hidden state is zero, so the
+ *    recurrent matvec at t = 0 collapses to its exact degenerate
+ *    result (+0.0 per row — see laneGates in batched.cc);
+ *  - input projections: when a step's input is a row of a parameter
+ *    table (an embedding gather, via setInputParamRow), the Wx
+ *    product of every table row is precomputed once per (weight,
+ *    table) pair and the whole layer-0 input matvec is skipped.
+ *
+ * # Bit-stability contract (double precision)
+ *
+ * In Precision::kF64 every per-lane arithmetic operation replicates
+ * the graph engine's per-element expression shape and k-ascending
+ * accumulation order exactly — the matvec kernel is literally the
+ * same template (nn/matvec_inl.hh), and both shortcuts above are
+ * value-exact — so a batched forward pass is bit-identical to
+ * running each lane through its own Graph, regardless of batch
+ * size, submission order or the lengths of the other lanes.
+ * tests/test_nn_batched.cc and the golden suite lock this in.
+ *
+ * # Ragged batches and masking
+ *
+ * Lanes may have different lengths. run() sorts lanes by descending
+ * length (stable), so at step t only a contiguous prefix of lanes
+ * is still active; finished lanes simply stop being touched —
+ * masking by exclusion, which cannot perturb the surviving lanes'
+ * numerics. A lane's final hidden state is captured at its own last
+ * step.
+ *
+ * # Single-precision serving (Precision::kF32)
+ *
+ * An opt-in inference mode for serving: all parameters are
+ * converted to float once at construction (i.e. once per checkpoint
+ * load), the kernels run in single precision, and the sigmoid/tanh
+ * transcendentals — the other dominant cost at serving widths — go
+ * through fast polynomial approximations (straight-line float
+ * arithmetic, deterministic, auto-vectorizable) instead of libm.
+ * Accuracy is gated, not bit-gated: the serving tests require
+ * relative error < 1e-5 against the double path on the test corpus.
+ * Training never uses this mode.
+ *
+ * The bound ParamSet must stay frozen for the executor's lifetime
+ * (the f32 conversion and the input projections snapshot it). Usage
+ * per LSTM level:
+ *
+ *     bf.begin(in_dim);
+ *     int lane = bf.addLane(steps);
+ *     bf.setInput(...) / setInputParamRow(...) / setInputPrevHidden(...)
+ *     bf.run(stack_ref);          // finalHidden(lane) now valid
+ *     ... begin() the next level (may read the previous finalHidden
+ *         via setInputPrevHidden) ...
+ *     bf.headAll(head_ref, out);  // scalar head over final hiddens
+ */
+
+#ifndef DIFFTUNE_NN_BATCHED_HH
+#define DIFFTUNE_NN_BATCHED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/graph.hh"
+
+namespace difftune::nn
+{
+
+/** Arithmetic precision of a forward-only execution mode. */
+enum class Precision : uint8_t
+{
+    kF64, ///< double; bit-identical to the Graph engine
+    kF32, ///< float serving mode; accuracy-gated, not bit-gated
+};
+
+/** "f64" / "f32". */
+const char *precisionName(Precision precision);
+
+/** Parameter indices of one LSTM layer (all within one ParamSet). */
+struct LstmLayerRef
+{
+    int wx = -1;   ///< (4H x in) input weights
+    int wh = -1;   ///< (4H x H) recurrent weights
+    int bias = -1; ///< (4H x 1) bias, forget-gate block at [H, 2H)
+};
+
+/** Parameter indices of a stacked LSTM, bottom layer first. */
+struct LstmStackRef
+{
+    std::vector<LstmLayerRef> layers;
+    int inDim = 0;  ///< layer-0 input width
+    int hidden = 0; ///< hidden width (all layers)
+};
+
+/** Parameter indices of a linear layer y = W x + b. */
+struct LinearRef
+{
+    int weight = -1; ///< (out x in)
+    int bias = -1;   ///< (out x 1)
+    int inDim = 0;
+    int outDim = 0;
+};
+
+/**
+ * Forward-only batched executor over one ParamSet (see the file
+ * comment for the execution model and the usage protocol). All
+ * scratch is recycled across batches, so a long-lived instance (one
+ * per serving shard) allocates nothing in steady state.
+ */
+class BatchedForward
+{
+  public:
+    /**
+     * Bind to @p params. kF64 reads the ParamSet storage in place;
+     * kF32 converts every parameter to float once, here.
+     */
+    explicit BatchedForward(const ParamSet &params,
+                            Precision precision = Precision::kF64);
+
+    BatchedForward(const BatchedForward &) = delete;
+    BatchedForward &operator=(const BatchedForward &) = delete;
+
+    Precision precision() const { return precision_; }
+
+    // ---- Ragged batch assembly
+
+    /**
+     * Start assembling a batch of lanes whose per-step inputs are
+     * @p dim wide. Previous finalHidden() results stay readable
+     * until the next run().
+     */
+    void begin(int dim);
+
+    /** Add a lane of @p steps >= 1 steps; returns its lane id. */
+    int addLane(int steps);
+
+    /**
+     * Fill @p n elements of (lane, step)'s input at @p offset from
+     * @p x (converted to the working precision on copy).
+     */
+    void setInput(int lane, int step, int offset, const double *x,
+                  int n);
+
+    /**
+     * Input slice = row @p row of parameter @p table_index (an
+     * embedding gather, read from the precision-converted weights).
+     */
+    void setInputParamRow(int lane, int step, int offset,
+                          int table_index, int row);
+
+    /**
+     * Input slice = the previous run()'s final hidden state of
+     * @p src_lane (copied in the working precision, no double
+     * round trip).
+     */
+    void setInputPrevHidden(int lane, int step, int offset,
+                            int src_lane);
+
+    // ---- Execution
+
+    /**
+     * Advance @p stack over the assembled batch in lockstep. Every
+     * lane must have been fully filled. Invalidates the previous
+     * run's finalHidden values.
+     */
+    void run(const LstmStackRef &stack);
+
+    /**
+     * Scalar head y_lane = W h_final(lane) + b (outDim must be 1)
+     * over every lane of the last run(); writes numLanes() doubles.
+     */
+    void headAll(const LinearRef &head, double *out) const;
+
+    /**
+     * Copy the last run()'s final top-layer hidden state of @p lane
+     * into @p out (hidden doubles).
+     */
+    void finalHidden(int lane, double *out) const;
+
+    size_t numLanes() const { return lanes_.size(); }
+
+  private:
+    /**
+     * Precomputed input projection: row r of @p data is the shared
+     * matvec kernel's product of weight @p wx against row r of
+     * parameter table @p table — bit-identical to computing it at
+     * step time, done once per (wx, table) pair instead of once per
+     * lane step.
+     */
+    template <typename T> struct ProjEntry
+    {
+        int wx = -1;
+        int table = -1;
+        int rows = 0; ///< output rows per table row (4H)
+        std::vector<T> data;
+    };
+
+    /** Per-precision storage; only the active precision's is used. */
+    template <typename T> struct Lanes
+    {
+        std::vector<T> weights;       ///< kF32: converted ParamSet
+        std::vector<size_t> offsets;  ///< kF32: per-tensor offsets
+        std::vector<T> in;            ///< ragged inputs, lane-major
+        std::vector<T> h, c;          ///< layers x lanes x hidden
+        std::vector<T> gates;         ///< one lane's z + wh scratch
+        std::vector<T> finalH;        ///< lanes x hidden (flat)
+        /** Lazy Wx-times-table products (see setInputParamRow). */
+        std::vector<ProjEntry<T>> proj;
+    };
+
+    struct Lane
+    {
+        int len = 0;       ///< steps
+        size_t off = 0;    ///< offset of step 0 in Lanes::in
+        int32_t step0 = 0; ///< off / dim: index into the step marks
+    };
+
+    template <typename T> Lanes<T> &lanes();
+    template <typename T> const Lanes<T> &lanes() const;
+
+    /** Base pointer of parameter @p index in the working precision. */
+    template <typename T> const T *weight(int index) const;
+
+    /**
+     * The precomputed projection of every row of parameter table
+     * @p table through weight @p wx (lazy; cached per (wx, table)
+     * pair for the executor's lifetime — the bound ParamSet is
+     * frozen by contract). Each projected row comes from the shared
+     * matvec kernel, so using one is bit-identical to running that
+     * matvec at step time.
+     */
+    template <typename T>
+    const T *projTable(int wx, int table, int rows, int in_dim);
+
+    template <typename T> void runImpl(const LstmStackRef &stack);
+    template <typename T>
+    void headAllImpl(const LinearRef &head, double *out) const;
+
+    const ParamSet &params_;
+    Precision precision_;
+
+    int dim_ = 0;           ///< input width of the batch being built
+    int lastHidden_ = 0;    ///< hidden width of the last run()
+    std::vector<Lane> lanes_;
+    std::vector<int> order_; ///< lane ids sorted by length descending
+    /**
+     * Per-step input provenance, indexed lane.step0 + step: the
+     * (table, row) a full-width setInputParamRow filled it from, or
+     * (-1, -1) for raw inputs. Lets run() use the precomputed
+     * Wx-projection of that row instead of a per-step matvec.
+     */
+    std::vector<int32_t> rowTab_;
+    std::vector<int32_t> rowIdx_;
+
+    Lanes<double> f64_;
+    Lanes<float> f32_;
+};
+
+} // namespace difftune::nn
+
+#endif // DIFFTUNE_NN_BATCHED_HH

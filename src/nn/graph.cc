@@ -14,6 +14,7 @@
 
 #include "nn/graph.hh"
 
+#include "nn/matvec_inl.hh"
 #include "nn/ref_kernels.hh"
 
 #include <algorithm>
@@ -223,72 +224,15 @@ namespace
 {
 
 /**
- * out = W x for a column vector x, blocked four rows at a time: four
- * independent accumulator chains give the FMA units ILP while each
- * row's sum keeps the reference k-ascending order, so results stay
- * bit-identical to the naive loop.
+ * out = W x: the shared ILP-blocked kernel (nn/matvec_inl.hh),
+ * instantiated at double. The batched executor runs the same
+ * template, which is what keeps the two engines bit-identical.
  */
 inline void
 matvecForward(const double *__restrict w, const double *__restrict x,
               double *__restrict out, int rows, int cols)
 {
-    int r = 0;
-    for (; r + 8 <= rows; r += 8) {
-        const double *w0 = w + size_t(r) * cols;
-        const double *w1 = w0 + cols;
-        const double *w2 = w1 + cols;
-        const double *w3 = w2 + cols;
-        const double *w4 = w3 + cols;
-        const double *w5 = w4 + cols;
-        const double *w6 = w5 + cols;
-        const double *w7 = w6 + cols;
-        double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-        double s4 = 0.0, s5 = 0.0, s6 = 0.0, s7 = 0.0;
-        for (int k = 0; k < cols; ++k) {
-            const double xk = x[k];
-            s0 += w0[k] * xk;
-            s1 += w1[k] * xk;
-            s2 += w2[k] * xk;
-            s3 += w3[k] * xk;
-            s4 += w4[k] * xk;
-            s5 += w5[k] * xk;
-            s6 += w6[k] * xk;
-            s7 += w7[k] * xk;
-        }
-        out[r] = s0;
-        out[r + 1] = s1;
-        out[r + 2] = s2;
-        out[r + 3] = s3;
-        out[r + 4] = s4;
-        out[r + 5] = s5;
-        out[r + 6] = s6;
-        out[r + 7] = s7;
-    }
-    for (; r + 4 <= rows; r += 4) {
-        const double *w0 = w + size_t(r) * cols;
-        const double *w1 = w0 + cols;
-        const double *w2 = w1 + cols;
-        const double *w3 = w2 + cols;
-        double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-        for (int k = 0; k < cols; ++k) {
-            const double xk = x[k];
-            s0 += w0[k] * xk;
-            s1 += w1[k] * xk;
-            s2 += w2[k] * xk;
-            s3 += w3[k] * xk;
-        }
-        out[r] = s0;
-        out[r + 1] = s1;
-        out[r + 2] = s2;
-        out[r + 3] = s3;
-    }
-    for (; r < rows; ++r) {
-        const double *wr = w + size_t(r) * cols;
-        double sum = 0.0;
-        for (int k = 0; k < cols; ++k)
-            sum += wr[k] * x[k];
-        out[r] = sum;
-    }
+    matvecForwardT(w, x, out, rows, cols);
 }
 
 } // namespace

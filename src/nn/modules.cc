@@ -39,7 +39,8 @@ Embedding::forward(Ctx &ctx, int token) const
 // ------------------------------------------------------------------ Linear
 
 Linear::Linear(ParamSet &params, int in, int out, Rng &rng)
-    : weight_(params.add(out, in)), bias_(params.add(out, 1)), out_(out)
+    : weight_(params.add(out, in)), bias_(params.add(out, 1)), in_(in),
+      out_(out)
 {
     initTensor(params[weight_], rng, in);
     initTensor(params[bias_], rng, in);
@@ -110,13 +111,25 @@ LstmCell::step(Ctx &ctx, Var x, const State &state) const
 
 LstmStack::LstmStack(ParamSet &params, int in, int hidden, int layers,
                      Rng &rng)
-    : hidden_(hidden)
+    : in_(in), hidden_(hidden)
 {
     panic_if(layers < 1, "LstmStack needs at least one layer");
     cells_.reserve(layers);
     for (int layer = 0; layer < layers; ++layer)
         cells_.emplace_back(params, layer == 0 ? in : hidden, hidden,
                             rng);
+}
+
+LstmStackRef
+LstmStack::batchedRef() const
+{
+    LstmStackRef ref;
+    ref.inDim = in_;
+    ref.hidden = hidden_;
+    ref.layers.reserve(cells_.size());
+    for (const auto &cell : cells_)
+        ref.layers.push_back(cell.batchedRef());
+    return ref;
 }
 
 Var

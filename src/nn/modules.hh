@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "nn/batched.hh"
 #include "nn/graph.hh"
 
 namespace difftune::nn
@@ -46,6 +47,9 @@ class Embedding
 
     int dim() const { return dim_; }
 
+    /** ParamSet index of the (vocab x dim) table (batched gather). */
+    int tableIndex() const { return table_; }
+
   private:
     int table_;
     int dim_;
@@ -61,9 +65,16 @@ class Linear
 
     int outDim() const { return out_; }
 
+    /** Parameter indices for the batched execution mode. */
+    LinearRef batchedRef() const
+    {
+        return LinearRef{weight_, bias_, in_, out_};
+    }
+
   private:
     int weight_;
     int bias_;
+    int in_;
     int out_;
 };
 
@@ -87,6 +98,12 @@ class LstmCell
     State step(Ctx &ctx, Var x, const State &state) const;
 
     int hiddenDim() const { return hidden_; }
+
+    /** Parameter indices for the batched execution mode. */
+    LstmLayerRef batchedRef() const
+    {
+        return LstmLayerRef{wx_, wh_, bias_};
+    }
 
   private:
     int wx_;     ///< (4H x in)
@@ -114,8 +131,12 @@ class LstmStack
     int hiddenDim() const { return hidden_; }
     int numLayers() const { return int(cells_.size()); }
 
+    /** Parameter indices for the batched execution mode. */
+    LstmStackRef batchedRef() const;
+
   private:
     std::vector<LstmCell> cells_;
+    int in_;
     int hidden_;
 };
 

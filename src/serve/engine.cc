@@ -5,7 +5,10 @@
 
 #include "serve/engine.hh"
 
+#include <cmath>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
 
 #include "base/env.hh"
 #include "base/parallel.hh"
@@ -20,6 +23,7 @@ PredictionEngine::PredictionEngine(io::Checkpoint checkpoint,
     : model_(std::move(checkpoint.model)),
       table_(std::move(checkpoint.table)),
       workers_(config.workers > 0 ? config.workers : workerThreads()),
+      precision_(config.precision), textCache_(config.cacheCapacity),
       cache_(config.cacheCapacity)
 {
     fatal_if(!model_, "checkpoint carries no model; nothing to serve");
@@ -56,9 +60,15 @@ PredictionEngine::PredictionEngine(io::Checkpoint checkpoint,
                 *table_, isa::OpcodeId(op), norm));
     }
 
-    graphs_.resize(size_t(workers_));
-    for (auto &graph : graphs_)
-        graph = std::make_unique<nn::Graph>();
+    // One batched executor and one instruction-hidden memo table
+    // per shard. In kF32 mode each weight conversion happens here —
+    // once per load, never on the request path.
+    batched_.reserve(size_t(workers_));
+    for (int shard = 0; shard < workers_; ++shard) {
+        batched_.push_back(std::make_unique<nn::BatchedForward>(
+            model_->params(), precision_));
+        instCaches_.emplace_back();
+    }
 }
 
 PredictionEngine
@@ -85,16 +95,62 @@ PredictionEngine::forwardEncoded(nn::Graph &graph,
     return graph.scalarValue(pred);
 }
 
+void
+PredictionEngine::forwardMissBatch(int shard,
+                                   std::vector<Miss> &misses,
+                                   size_t lo, size_t hi)
+{
+    nn::BatchedForward &bf = *batched_[size_t(shard)];
+    const size_t count = hi - lo;
+    std::vector<surrogate::EncodedBlock> encoded;
+    std::vector<const surrogate::EncodedBlock *> blocks;
+    std::vector<std::vector<const nn::Tensor *>> inst_params;
+    encoded.reserve(count);
+    blocks.reserve(count);
+    for (size_t m = lo; m < hi; ++m)
+        encoded.push_back(surrogate::encodeBlock(misses[m].block));
+    for (const auto &e : encoded)
+        blocks.push_back(&e);
+    if (!opcodeInputs_.empty()) {
+        inst_params.reserve(count);
+        for (size_t m = lo; m < hi; ++m) {
+            inst_params.emplace_back();
+            inst_params.back().reserve(misses[m].block.size());
+            for (const auto &inst : misses[m].block.insts)
+                inst_params.back().push_back(
+                    &opcodeInputs_[size_t(inst.opcode)]);
+        }
+    }
+    std::vector<double> heads;
+    model_->predictBatch(bf, blocks, inst_params, heads,
+                         &instCaches_[size_t(shard)]);
+    // Same expression as Graph::exp (the sequential path's final
+    // node), so the kF64 batched prediction is bit-identical to
+    // forwardEncoded's.
+    for (size_t m = lo; m < hi; ++m)
+        misses[m].prediction =
+            std::exp(std::min(heads[m - lo], 30.0));
+}
+
 double
 PredictionEngine::predict(const std::string &block_text)
 {
-    return predictBlock(isa::parseBlock(block_text));
+    if (const double *hit = textCache_.get(block_text)) {
+        ++stats_.requests;
+        ++stats_.hits;
+        return *hit;
+    }
+    const double prediction =
+        predictBlock(isa::parseBlock(block_text));
+    textCache_.put(block_text, prediction);
+    return prediction;
 }
 
 double
 PredictionEngine::predictBlock(const isa::BasicBlock &block)
 {
     ++stats_.requests;
+    fatal_if(block.empty(), "cannot predict an empty block");
     std::string key = isa::toString(block);
     if (const double *hit = cache_.get(key)) {
         ++stats_.hits;
@@ -102,10 +158,13 @@ PredictionEngine::predictBlock(const isa::BasicBlock &block)
     }
     ++stats_.misses;
     ++stats_.forwards;
-    nn::Graph &graph = *graphs_.front();
-    graph.clear();
-    const double prediction =
-        forwardEncoded(graph, surrogate::encodeBlock(block), block);
+    // A batch of one on shard 0's executor: the cache must hold
+    // predictions from one execution mode only, whichever precision
+    // is being served.
+    std::vector<Miss> one(1);
+    one[0].block = block;
+    forwardMissBatch(0, one, 0, 1);
+    const double prediction = one[0].prediction;
     cache_.put(std::move(key), prediction);
     return prediction;
 }
@@ -118,13 +177,37 @@ PredictionEngine::predictAll(const std::vector<std::string> &block_texts)
 
     std::vector<double> results(block_texts.size(), 0.0);
     std::vector<Miss> misses;
+    std::vector<uint32_t> parsed; ///< indices that missed textCache_
+    /** In-batch raw-text dedup: first slot to parse each text. */
+    std::unordered_map<std::string_view, uint32_t> raw_first;
+    /** (duplicate slot, first slot) pairs resolved after publish. */
+    std::vector<std::pair<uint32_t, uint32_t>> raw_dups;
     std::unordered_map<std::string, size_t> miss_index;
 
-    // Resolve the cache on the submit thread; only genuinely new
-    // canonical blocks (deduplicated within the batch) fan out. Input
-    // validation must also happen here — a fatal() thrown inside a
-    // worker-pool shard would escape the pool thread uncaught.
+    // Resolve the caches on the submit thread — the raw-text front
+    // cache first (repeat traffic skips parsing entirely, including
+    // exact repeats within this batch), then the canonical cache;
+    // only genuinely new canonical blocks (deduplicated within the
+    // batch) fan out. Input validation must also happen here — a
+    // fatal() thrown inside a worker-pool shard would escape the
+    // pool thread uncaught.
     for (size_t i = 0; i < block_texts.size(); ++i) {
+        if (const double *hit = textCache_.get(block_texts[i])) {
+            ++stats_.hits;
+            results[i] = *hit;
+            continue;
+        }
+        auto [first, fresh] =
+            raw_first.try_emplace(block_texts[i], uint32_t(i));
+        if (!fresh) {
+            // An exact repeat within this batch: skip the parse but
+            // count it as a miss — it was not in any cache at submit
+            // time (ServeStats::hits means answered from the LRU).
+            ++stats_.misses;
+            raw_dups.emplace_back(uint32_t(i), first->second);
+            continue;
+        }
+        parsed.push_back(uint32_t(i));
         isa::BasicBlock block = isa::parseBlock(block_texts[i]);
         fatal_if(block.empty(),
                  "cannot predict an empty block (batch index {})", i);
@@ -146,19 +229,15 @@ PredictionEngine::predictAll(const std::vector<std::string> &block_texts)
 
     stats_.forwards += misses.size();
 
-    // One reusable graph per shard; the shard partition is a pure
-    // function of (count, workers), and each block's forward pass is
-    // independent, so results do not depend on the worker count.
+    // One batched executor per shard: the shard's misses run as one
+    // lane batch (shared weight reads, lockstep steps, instruction
+    // dedup). The shard partition is a pure function of (count,
+    // workers), and each lane's arithmetic is independent, so
+    // results do not depend on the worker count or the batch
+    // composition.
     parallelShards(misses.size(), workers_,
                    [&](size_t lo, size_t hi, int shard) {
-                       nn::Graph &graph = *graphs_[size_t(shard)];
-                       for (size_t m = lo; m < hi; ++m) {
-                           graph.clear();
-                           misses[m].prediction = forwardEncoded(
-                               graph,
-                               surrogate::encodeBlock(misses[m].block),
-                               misses[m].block);
-                       }
+                       forwardMissBatch(shard, misses, lo, hi);
                    });
 
     // Publish in deterministic (batch) order.
@@ -167,6 +246,10 @@ PredictionEngine::predictAll(const std::vector<std::string> &block_texts)
             results[slot] = miss.prediction;
         cache_.put(std::move(miss.key), miss.prediction);
     }
+    for (auto [dup, first] : raw_dups)
+        results[dup] = results[first];
+    for (uint32_t i : parsed)
+        textCache_.put(block_texts[i], results[i]);
     return results;
 }
 

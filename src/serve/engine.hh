@@ -15,15 +15,26 @@
  *  - per-instruction parameter-input tensors depend only on the
  *    opcode once the table is frozen, so they are precomputed per
  *    opcode at load time instead of per request;
- *  - batched requests map over base/parallel shards, each shard
- *    reusing one nn::Graph across its blocks (Graph::clear keeps
- *    node capacity, avoiding per-request tape reallocation).
+ *  - batched requests map over base/parallel shards, and each shard
+ *    runs its blocks through one nn::BatchedForward executor —
+ *    shared weight reads, lockstep LSTM steps, no per-block tape
+ *    (see nn/batched.hh). Single-block misses take the same
+ *    executor as a batch of one, so every cached prediction comes
+ *    from one execution mode.
  *
  * Predictions follow the training-time convention: timing =
  * exp(model head), exactly as core/ithemal and core/difftune evaluate
  * the model, so a served prediction is bit-identical to the in-process
  * prediction of the checkpointed model. Batched and sequential
  * submission, and any worker count, produce identical results.
+ *
+ * ServeConfig::precision selects the serving arithmetic:
+ * nn::Precision::kF64 (the default) is bit-identical to the graph
+ * engine; kF32 converts the weights to float once at load and runs
+ * the batched kernels in single precision — faster, and gated to
+ * < 1e-5 relative error against the double path (never bit-exact;
+ * see docs/BENCHMARKS.md and tests/test_serve.cc). predictUncached
+ * always stays the double-precision graph reference.
  *
  * The public API is synchronous and single-caller; concurrency lives
  * inside predictAll's shard fan-out.
@@ -38,6 +49,7 @@
 #include <vector>
 
 #include "io/checkpoint.hh"
+#include "nn/batched.hh"
 #include "serve/lru_cache.hh"
 
 namespace difftune::serve
@@ -48,6 +60,8 @@ struct ServeConfig
 {
     int workers = 0;             ///< shard count (<= 0: library default)
     size_t cacheCapacity = 8192; ///< LRU entries (canonical blocks)
+    /** Serving arithmetic (see the file comment; kF32 is opt-in). */
+    nn::Precision precision = nn::Precision::kF64;
 };
 
 /** Monotonic serving counters. */
@@ -100,6 +114,7 @@ class PredictionEngine
         return table_;
     }
     int workers() const { return workers_; }
+    nn::Precision precision() const { return precision_; }
 
   private:
     /** Forward one encoded block on @p graph; returns exp(head). */
@@ -116,14 +131,35 @@ class PredictionEngine
         std::vector<uint32_t> outputs; ///< result slots to fill
     };
 
+    /**
+     * Run misses [lo, hi) through shard @p shard's executor as one
+     * batch and fill their predictions (exp of the batched head
+     * outputs).
+     */
+    void forwardMissBatch(int shard, std::vector<Miss> &misses,
+                          size_t lo, size_t hi);
+
     std::unique_ptr<surrogate::Model> model_;
     std::optional<params::ParamTable> table_;
     /** Per-opcode parameter-input column, precomputed at load. */
     std::vector<nn::Tensor> opcodeInputs_;
 
     int workers_;
-    /** One reusable tape per shard. */
-    std::vector<std::unique_ptr<nn::Graph>> graphs_;
+    nn::Precision precision_;
+    /** One batched executor per shard (weights converted at load). */
+    std::vector<std::unique_ptr<nn::BatchedForward>> batched_;
+    /**
+     * One instruction-hidden memo table per shard (weights are
+     * frozen, so token-level hiddens are reusable across batches;
+     * caches affect speed only, never results).
+     */
+    std::vector<surrogate::InstHiddenCache> instCaches_;
+    /**
+     * Front cache keyed by the *raw* request text: repeat traffic
+     * skips parsing and canonicalization entirely. Distinct raw
+     * texts of one canonical block still meet in cache_.
+     */
+    LruCache<std::string, double> textCache_;
     LruCache<std::string, double> cache_;
     ServeStats stats_;
 };

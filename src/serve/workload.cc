@@ -5,6 +5,9 @@
 
 #include "serve/workload.hh"
 
+#include <algorithm>
+#include <cmath>
+
 namespace difftune::serve
 {
 
@@ -27,21 +30,35 @@ powerLawWorkload(const bhive::Corpus &corpus, size_t requests,
     return texts;
 }
 
-ThroughputComparison
-compareThroughput(PredictionEngine &engine,
-                  const std::vector<std::string> &workload, size_t wave)
+NaiveRun
+runNaive(const PredictionEngine &engine,
+         const std::vector<std::string> &workload)
 {
-    ThroughputComparison result;
-
-    const auto naive_begin = std::chrono::steady_clock::now();
-    double naive_sum = 0.0;
+    NaiveRun run;
+    run.predictions.reserve(workload.size());
+    const auto begin = std::chrono::steady_clock::now();
     for (const auto &text : workload)
-        naive_sum += engine.predictUncached(text);
-    const auto naive_end = std::chrono::steady_clock::now();
-    result.naiveSeconds = secondsBetween(naive_begin, naive_end);
+        run.predictions.push_back(engine.predictUncached(text));
+    run.seconds =
+        secondsBetween(begin, std::chrono::steady_clock::now());
+    return run;
+}
 
-    const auto serve_begin = std::chrono::steady_clock::now();
-    double serve_sum = 0.0;
+ThroughputComparison
+engineVsNaive(PredictionEngine &engine,
+              const std::vector<std::string> &workload,
+              const NaiveRun &naive, size_t wave, double rel_tol)
+{
+    panic_if(naive.predictions.size() != workload.size(),
+             "engineVsNaive: naive run has {} predictions for {} "
+             "requests",
+             naive.predictions.size(), workload.size());
+    ThroughputComparison result;
+    result.naiveSeconds = naive.seconds;
+
+    std::vector<double> served;
+    served.reserve(workload.size());
+    const auto begin = std::chrono::steady_clock::now();
     for (size_t start = 0; start < workload.size(); start += wave) {
         const auto first = workload.begin() + long(start);
         const auto last =
@@ -49,17 +66,42 @@ compareThroughput(PredictionEngine &engine,
             long(std::min(workload.size(), start + wave));
         for (double r : engine.predictAll(
                  std::vector<std::string>(first, last)))
-            serve_sum += r;
+            served.push_back(r);
     }
-    const auto serve_end = std::chrono::steady_clock::now();
-    result.engineSeconds = secondsBetween(serve_begin, serve_end);
+    result.engineSeconds =
+        secondsBetween(begin, std::chrono::steady_clock::now());
 
-    // Both paths sum the same per-request doubles in request order,
-    // so even the sums must agree bit-exactly.
-    fatal_if(serve_sum != naive_sum,
-             "engine and naive predictions diverged ({} vs {})",
-             serve_sum, naive_sum);
+    // Every served prediction is checked against the double
+    // reference: bit-exact at rel_tol 0 (the kF64 contract), within
+    // rel_tol otherwise (the kF32 gate).
+    for (size_t i = 0; i < workload.size(); ++i) {
+        const double expect = naive.predictions[i];
+        const double got = served[i];
+        if (rel_tol <= 0.0) {
+            fatal_if(got != expect,
+                     "engine and naive predictions diverged at "
+                     "request {} ({} vs {})",
+                     i, got, expect);
+            continue;
+        }
+        const double rel =
+            std::abs(got - expect) / std::abs(expect);
+        fatal_if(!(rel <= rel_tol),
+                 "engine prediction at request {} off by {} "
+                 "(tolerance {}): {} vs {}",
+                 i, rel, rel_tol, got, expect);
+        result.maxRelErr = std::max(result.maxRelErr, rel);
+    }
     return result;
+}
+
+ThroughputComparison
+compareThroughput(PredictionEngine &engine,
+                  const std::vector<std::string> &workload,
+                  size_t wave, double rel_tol)
+{
+    return engineVsNaive(engine, workload,
+                         runNaive(engine, workload), wave, rel_tol);
 }
 
 } // namespace difftune::serve

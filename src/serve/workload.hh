@@ -33,26 +33,53 @@ std::vector<std::string> powerLawWorkload(const bhive::Corpus &corpus,
                                           size_t requests,
                                           size_t unique, uint64_t seed);
 
-/** Wall-clock results of compareThroughput. */
+/** Wall-clock results of compareThroughput / engineVsNaive. */
 struct ThroughputComparison
 {
     double naiveSeconds = 0.0;  ///< predictUncached per request
     double engineSeconds = 0.0; ///< wave-batched predictAll
+    double maxRelErr = 0.0;     ///< worst per-request |e-n|/|n|
 
     double speedup() const { return naiveSeconds / engineSeconds; }
 };
 
 /**
- * Run @p workload through the naive path (parse + encode + one fresh
- * graph per request) and then through the batched engine, submitting
- * waves of @p wave requests as a serving endpoint would. The two
- * prediction streams must agree bit-exactly (fatal otherwise). The
- * naive pass runs first, so the engine's cache starts cold.
+ * One timed pass of the naive reference path (parse + encode + one
+ * fresh double-precision graph per request) with its per-request
+ * predictions, reusable across several engine comparisons.
+ */
+struct NaiveRun
+{
+    std::vector<double> predictions;
+    double seconds = 0.0;
+};
+
+/** Run and time the naive reference over @p workload. */
+NaiveRun runNaive(const PredictionEngine &engine,
+                  const std::vector<std::string> &workload);
+
+/**
+ * Run @p workload through the batched engine in waves of @p wave
+ * requests (as a serving endpoint would) and compare every
+ * prediction against @p naive. rel_tol 0 demands bit-exact
+ * agreement (the kF64 contract); a positive rel_tol bounds the
+ * relative error instead (the kF32 accuracy gate). Fatal on any
+ * violation. The engine's caches are expected cold on entry.
+ */
+ThroughputComparison
+engineVsNaive(PredictionEngine &engine,
+              const std::vector<std::string> &workload,
+              const NaiveRun &naive, size_t wave = 250,
+              double rel_tol = 0.0);
+
+/**
+ * runNaive + engineVsNaive in one call (the naive pass runs first,
+ * so the engine's cache starts cold).
  */
 ThroughputComparison
 compareThroughput(PredictionEngine &engine,
                   const std::vector<std::string> &workload,
-                  size_t wave = 250);
+                  size_t wave = 250, double rel_tol = 0.0);
 
 } // namespace difftune::serve
 

@@ -49,6 +49,118 @@ Model::forward(nn::Ctx &ctx, const EncodedBlock &block,
     return head_->forward(ctx, block_vec);
 }
 
+void
+Model::predictBatch(
+    nn::BatchedForward &bf,
+    const std::vector<const EncodedBlock *> &blocks,
+    const std::vector<std::vector<const nn::Tensor *>> &inst_params,
+    std::vector<double> &out, InstHiddenCache *inst_cache) const
+{
+    const bool has_params = config_.paramDim > 0;
+    panic_if(has_params ? inst_params.size() != blocks.size()
+                        : !inst_params.empty(),
+             "predictBatch: {} parameter-input blocks for {} blocks "
+             "(paramDim {})",
+             inst_params.size(), blocks.size(), config_.paramDim);
+    out.resize(blocks.size());
+    if (blocks.empty())
+        return;
+    if (inst_cache) {
+        panic_if(inst_cache->precisionPinned_ &&
+                     inst_cache->precision_ != bf.precision(),
+                 "predictBatch: instruction cache holds {} hiddens, "
+                 "executor runs {}",
+                 nn::precisionName(inst_cache->precision_),
+                 nn::precisionName(bf.precision()));
+        inst_cache->precisionPinned_ = true;
+        inst_cache->precision_ = bf.precision();
+    }
+
+    // Token level: one lane per *distinct* instruction across the
+    // whole batch (embedding rows gathered straight from the table).
+    // Instructions found in inst_cache skip the LSTM entirely.
+    struct InstSrc
+    {
+        int lane = -1; ///< token lane in this batch, or -1
+        const std::vector<double> *cached = nullptr;
+    };
+    std::vector<InstSrc> sources;
+    std::unordered_map<std::vector<isa::TokenId>, int,
+                       InstHiddenCache::TokenSeqHash>
+        batch_lanes;
+    bf.begin(config_.embedDim);
+    for (const EncodedBlock *block : blocks) {
+        panic_if(block->empty(), "predictBatch on an empty block");
+        for (const auto &tokens : *block) {
+            InstSrc src;
+            if (inst_cache) {
+                auto hit = inst_cache->map_.find(tokens);
+                if (hit != inst_cache->map_.end()) {
+                    src.cached = &hit->second;
+                    sources.push_back(src);
+                    continue;
+                }
+            }
+            auto [slot, fresh] = batch_lanes.try_emplace(tokens, -1);
+            if (fresh) {
+                slot->second = bf.addLane(int(tokens.size()));
+                for (size_t t = 0; t < tokens.size(); ++t)
+                    bf.setInputParamRow(slot->second, int(t), 0,
+                                        embed_->tableIndex(),
+                                        int(tokens[t]));
+            }
+            src.lane = slot->second;
+            sources.push_back(src);
+        }
+    }
+    bf.run(tokenLstm_->batchedRef());
+    if (inst_cache) {
+        for (auto &[tokens, lane] : batch_lanes) {
+            if (inst_cache->map_.size() >= inst_cache->capacity_)
+                break;
+            std::vector<double> hidden(size_t(config_.hidden));
+            bf.finalHidden(lane, hidden.data());
+            inst_cache->map_.emplace(tokens, std::move(hidden));
+        }
+    }
+
+    // Block level: one lane per block; each step's input is the
+    // instruction's token-level hidden state, with the parameter
+    // column appended for a paramDim > 0 surrogate (the paper's "‖"
+    // concatenation).
+    bf.begin(config_.hidden + config_.paramDim);
+    size_t inst = 0;
+    for (size_t b = 0; b < blocks.size(); ++b) {
+        const EncodedBlock &block = *blocks[b];
+        panic_if(has_params &&
+                     inst_params[b].size() != block.size(),
+                 "predictBatch: block {} has {} parameter columns "
+                 "for {} instructions",
+                 b, inst_params[b].size(), block.size());
+        const int lane = bf.addLane(int(block.size()));
+        for (size_t i = 0; i < block.size(); ++i, ++inst) {
+            const InstSrc &src = sources[inst];
+            if (src.cached)
+                bf.setInput(lane, int(i), 0, src.cached->data(),
+                            config_.hidden);
+            else
+                bf.setInputPrevHidden(lane, int(i), 0, src.lane);
+            if (has_params) {
+                const nn::Tensor &col = *inst_params[b][i];
+                panic_if(col.rows != config_.paramDim ||
+                             col.cols != 1,
+                         "predictBatch: parameter column is "
+                         "{}x{}, expected {}x1",
+                         col.rows, col.cols, config_.paramDim);
+                bf.setInput(lane, int(i), config_.hidden,
+                            col.data.data(), config_.paramDim);
+            }
+        }
+    }
+    bf.run(blockLstm_->batchedRef());
+    bf.headAll(head_->batchedRef(), out.data());
+}
+
 double
 Model::predict(const EncodedBlock &block) const
 {

@@ -20,6 +20,7 @@
 #define DIFFTUNE_SURROGATE_MODEL_HH
 
 #include <memory>
+#include <unordered_map>
 
 #include "isa/tokens.hh"
 #include "nn/modules.hh"
@@ -29,6 +30,59 @@ namespace difftune::surrogate
 
 /** Token sequences of one block, precomputed once per block. */
 using EncodedBlock = std::vector<std::vector<isa::TokenId>>;
+
+/**
+ * Memo table from an instruction's token sequence to its token-level
+ * LSTM hidden state, for batched inference over *frozen* weights
+ * (Model::predictBatch): with the weights fixed, that hidden state
+ * is a pure function of the token sequence, so instructions shared
+ * across blocks — pervasive in real block corpora — skip the token
+ * LSTM entirely on every reuse. Reuse is bit-exact: the stored
+ * vector is the exact value the executor produced (f32 hiddens
+ * round-trip through double losslessly).
+ *
+ * Bounded: at @p capacity entries the cache stops inserting (no
+ * eviction — the instruction vocabulary of a serving workload is
+ * small and stable). A cache is tied to one executor precision; the
+ * first use pins it. Not thread-safe: give each serving shard its
+ * own (caches only affect speed, never results, so sharding them
+ * preserves determinism).
+ */
+class InstHiddenCache
+{
+  public:
+    explicit InstHiddenCache(size_t capacity = size_t(1) << 16)
+        : capacity_(capacity)
+    {
+    }
+
+    size_t size() const { return map_.size(); }
+
+  private:
+    friend class Model;
+
+    struct TokenSeqHash
+    {
+        size_t
+        operator()(const std::vector<isa::TokenId> &tokens) const
+        {
+            // FNV-1a over the token ids.
+            uint64_t hash = 0xcbf29ce484222325ULL;
+            for (isa::TokenId token : tokens) {
+                hash ^= uint64_t(uint32_t(token));
+                hash *= 0x100000001b3ULL;
+            }
+            return size_t(hash);
+        }
+    };
+
+    size_t capacity_;
+    bool precisionPinned_ = false;
+    nn::Precision precision_ = nn::Precision::kF64;
+    std::unordered_map<std::vector<isa::TokenId>,
+                       std::vector<double>, TokenSeqHash>
+        map_;
+};
 
 /** Model hyperparameters. */
 struct ModelConfig
@@ -61,6 +115,37 @@ class Model
 
     /** Inference without parameter inputs (Ithemal mode). */
     double predict(const EncodedBlock &block) const;
+
+    /**
+     * Batched forward for many blocks on @p bf (see nn/batched.hh):
+     * the token-level LSTM runs over all instructions of all blocks
+     * in lockstep, then the block-level LSTM over all blocks, with
+     * one set of weight reads per step. Writes the raw head outputs
+     * (the same pre-exp value forward() produces) to @p out, aligned
+     * with @p blocks.
+     *
+     * In double precision the results are bit-identical to running
+     * forward() per block; in kF32 they are accuracy-gated instead
+     * (see the serving tests).
+     *
+     * Identical instructions are deduplicated within the batch (one
+     * token-level lane serves every occurrence), and, when
+     * @p inst_cache is given, across batches too — valid whenever
+     * the weights are frozen between calls, as in serving.
+     *
+     * @param inst_params per-block, per-instruction parameter-input
+     *        columns (each paramDim x 1); must be empty iff the
+     *        config's paramDim is 0
+     * @param inst_cache optional cross-batch instruction-hidden
+     *        memo table (see InstHiddenCache)
+     */
+    void predictBatch(
+        nn::BatchedForward &bf,
+        const std::vector<const EncodedBlock *> &blocks,
+        const std::vector<std::vector<const nn::Tensor *>>
+            &inst_params,
+        std::vector<double> &out,
+        InstHiddenCache *inst_cache = nullptr) const;
 
     const ModelConfig &config() const { return config_; }
     nn::ParamSet &params() { return params_; }

@@ -12,6 +12,7 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <limits>
 
 #include "io/checkpoint.hh"
@@ -115,19 +116,40 @@ TEST(Container, HeaderBytesAreStable)
 {
     // The on-disk header is pinned: 8 magic bytes then the version as
     // explicit little-endian — a checkpoint written on any host must
-    // start with exactly these bytes.
+    // start with exactly these bytes. A file that uses no version-2
+    // feature is stamped version 1 so that version-1 readers keep
+    // accepting it (docs/CHECKPOINT_FORMAT.md).
     ChunkWriter writer;
     writer.add("ABCD", "x");
     const std::string bytes = writer.serialize();
     ASSERT_GE(bytes.size(), 16u);
     EXPECT_EQ(bytes.substr(0, 8), std::string("DTCHKPT\0", 8));
-    EXPECT_EQ(uint8_t(bytes[8]), checkpointVersion);
+    EXPECT_EQ(uint8_t(bytes[8]), 1);
     EXPECT_EQ(uint8_t(bytes[9]), 0);
     EXPECT_EQ(uint8_t(bytes[10]), 0);
     EXPECT_EQ(uint8_t(bytes[11]), 0);
     // Chunk count = 1, little-endian.
     EXPECT_EQ(uint8_t(bytes[12]), 1);
     EXPECT_EQ(uint8_t(bytes[13]), 0);
+}
+
+TEST(Container, RequiredVersionIsStamped)
+{
+    ChunkWriter writer;
+    writer.add("ABCD", "x");
+    writer.requireVersion(2);
+    writer.requireVersion(1); // the maximum wins
+    const std::string bytes = writer.serialize();
+    EXPECT_EQ(uint8_t(bytes[8]), 2);
+    // This build reads what it writes...
+    ChunkReader reader(bytes);
+    EXPECT_EQ(reader.payload("ABCD"), "x");
+    // ...and still rejects anything newer than checkpointVersion
+    // (the version-1 reader's rejection of version-2 files worked
+    // the same way).
+    std::string future = bytes;
+    future[8] = char(checkpointVersion + 1);
+    EXPECT_THROW(ChunkReader{future}, std::runtime_error);
 }
 
 TEST(Container, ChunkRoundTrip)
@@ -337,6 +359,61 @@ TEST(Checkpoint, FileRoundTripReproducesPredictions)
         EXPECT_TRUE(
             sameBits(model.predict(block), loaded.model->predict(block)));
     }
+}
+
+TEST(Checkpoint, F32WeightsRoundTrip)
+{
+    surrogate::ModelConfig cfg;
+    cfg.embedDim = 8;
+    cfg.hidden = 10;
+    cfg.tokenLayers = 1;
+    cfg.blockLayers = 1;
+    cfg.seed = 7;
+    surrogate::Model model(cfg, isa::theVocab().size());
+
+    TempFile f64_file("f64.ckpt");
+    TempFile f32_file("f32.ckpt");
+    saveCheckpoint(f64_file.path(), &model, nullptr, nullptr);
+    saveCheckpoint(f32_file.path(), &model, nullptr, nullptr,
+                   nn::Precision::kF32);
+
+    // The f32 file is a version-2 artifact at roughly half the
+    // weight bytes.
+    const auto f64_size =
+        std::filesystem::file_size(f64_file.path());
+    const auto f32_size =
+        std::filesystem::file_size(f32_file.path());
+    EXPECT_LT(f32_size, f64_size * 3 / 4);
+    {
+        std::ifstream in(f32_file.path(), std::ios::binary);
+        char header[9] = {};
+        in.read(header, 9);
+        EXPECT_EQ(uint8_t(header[8]), 2);
+    }
+
+    Checkpoint loaded = loadCheckpoint(f32_file.path());
+    ASSERT_TRUE(loaded.model);
+    EXPECT_EQ(loaded.weightPrecision, nn::Precision::kF32);
+    // Every loaded weight is the float-narrowed original, exactly.
+    const nn::ParamSet &orig = model.params();
+    const nn::ParamSet &back = loaded.model->params();
+    ASSERT_EQ(orig.count(), back.count());
+    for (size_t p = 0; p < orig.count(); ++p)
+        for (size_t i = 0; i < orig[int(p)].data.size(); ++i)
+            EXPECT_TRUE(
+                sameBits(double(float(orig[int(p)].data[i])),
+                         back[int(p)].data[i]));
+    // An f32 round trip is idempotent: saving the narrowed model
+    // again reproduces the same weights.
+    TempFile again("f32b.ckpt");
+    saveCheckpoint(again.path(), loaded.model.get(), nullptr,
+                   nullptr, nn::Precision::kF32);
+    Checkpoint twice = loadCheckpoint(again.path());
+    for (size_t p = 0; p < back.count(); ++p)
+        for (size_t i = 0; i < back[int(p)].data.size(); ++i)
+            EXPECT_TRUE(sameBits(back[int(p)].data[i],
+                                 twice.model->params()[int(p)]
+                                     .data[i]));
 }
 
 TEST(Checkpoint, TableOnlyCheckpoint)

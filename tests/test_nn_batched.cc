@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Tests for the batched forward execution mode (nn/batched.hh).
+ *
+ * The contract under test:
+ *
+ *  - kF64 batched predictions are bit-identical to running each
+ *    block through its own autograd Graph — for any batch size,
+ *    submission order and mixture of ragged block/instruction
+ *    lengths (the per-lane length-masking path);
+ *  - batches reuse the executor's scratch: interleaving batches of
+ *    different shapes through one BatchedForward never changes a
+ *    result;
+ *  - kF32 predictions track the double path within 1e-5 relative
+ *    error over a generated test corpus (the serving accuracy gate).
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "bhive/corpus.hh"
+#include "core/raw_table.hh"
+#include "hw/default_table.hh"
+#include "isa/parse.hh"
+#include "nn/batched.hh"
+#include "surrogate/model.hh"
+
+namespace difftune
+{
+namespace
+{
+
+bool
+sameBits(double a, double b)
+{
+    return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+surrogate::ModelConfig
+testConfig(int param_dim, int token_layers = 1, int block_layers = 2)
+{
+    surrogate::ModelConfig cfg;
+    cfg.embedDim = 8;
+    cfg.hidden = 12;
+    cfg.tokenLayers = token_layers;
+    cfg.blockLayers = block_layers;
+    cfg.paramDim = param_dim;
+    cfg.seed = 0xba7c4;
+    return cfg;
+}
+
+/** Ragged block texts: 1..5 instructions, varying token counts. */
+const std::vector<std::string> &
+raggedBlocks()
+{
+    static const std::vector<std::string> blocks = {
+        "NOP\n",
+        "MOV64rm 8(%rsi), %rdi\nADD64rr %rdi, %rbx\n"
+        "IMUL64rr %rbx, %rcx\nCMP64rr %rcx, %rdx\nPUSH64r %rbx\n",
+        "ADD32rr %ebx, %ecx\n",
+        "PUSH64r %rbx\nPOP64r %rcx\nADD32rr %ebx, %ecx\n",
+        "IMUL64rr %rbx, %rcx\nNOP\n",
+    };
+    return blocks;
+}
+
+std::vector<surrogate::EncodedBlock>
+encodeAll(const std::vector<std::string> &texts)
+{
+    std::vector<surrogate::EncodedBlock> encoded;
+    for (const auto &text : texts)
+        encoded.push_back(
+            surrogate::encodeBlock(isa::parseBlock(text)));
+    return encoded;
+}
+
+std::vector<double>
+batchedHeads(const surrogate::Model &model,
+             const std::vector<surrogate::EncodedBlock> &encoded,
+             nn::Precision precision)
+{
+    nn::BatchedForward bf(model.params(), precision);
+    std::vector<const surrogate::EncodedBlock *> blocks;
+    for (const auto &e : encoded)
+        blocks.push_back(&e);
+    std::vector<double> out;
+    model.predictBatch(bf, blocks, {}, out);
+    return out;
+}
+
+TEST(NnBatched, MatchesSequentialBitExactRagged)
+{
+    const surrogate::Model model(testConfig(0),
+                                 isa::theVocab().size());
+    const auto encoded = encodeAll(raggedBlocks());
+    const auto batched =
+        batchedHeads(model, encoded, nn::Precision::kF64);
+    ASSERT_EQ(batched.size(), encoded.size());
+    for (size_t i = 0; i < encoded.size(); ++i) {
+        EXPECT_TRUE(sameBits(batched[i], model.predict(encoded[i])))
+            << "block " << i;
+    }
+}
+
+TEST(NnBatched, BatchOfOneMatchesSequential)
+{
+    const surrogate::Model model(testConfig(0, 2, 1),
+                                 isa::theVocab().size());
+    for (const auto &text : raggedBlocks()) {
+        const auto encoded = encodeAll({text});
+        const auto batched =
+            batchedHeads(model, encoded, nn::Precision::kF64);
+        ASSERT_EQ(batched.size(), 1u);
+        EXPECT_TRUE(sameBits(batched[0], model.predict(encoded[0])));
+    }
+}
+
+TEST(NnBatched, EmptyBatchIsANoOp)
+{
+    const surrogate::Model model(testConfig(0),
+                                 isa::theVocab().size());
+    nn::BatchedForward bf(model.params());
+    std::vector<double> out{1.0, 2.0};
+    model.predictBatch(bf, {}, {}, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(NnBatched, SubmissionOrderDoesNotChangeBits)
+{
+    const surrogate::Model model(testConfig(0),
+                                 isa::theVocab().size());
+    const auto encoded = encodeAll(raggedBlocks());
+    const auto forward =
+        batchedHeads(model, encoded, nn::Precision::kF64);
+    std::vector<surrogate::EncodedBlock> reversed(encoded.rbegin(),
+                                                  encoded.rend());
+    const auto backward =
+        batchedHeads(model, reversed, nn::Precision::kF64);
+    ASSERT_EQ(forward.size(), backward.size());
+    for (size_t i = 0; i < forward.size(); ++i)
+        EXPECT_TRUE(sameBits(forward[i],
+                             backward[forward.size() - 1 - i]))
+            << "block " << i;
+}
+
+TEST(NnBatched, ScratchReuseAcrossDifferentShapes)
+{
+    const surrogate::Model model(testConfig(0),
+                                 isa::theVocab().size());
+    const auto encoded = encodeAll(raggedBlocks());
+    std::vector<const surrogate::EncodedBlock *> all;
+    for (const auto &e : encoded)
+        all.push_back(&e);
+
+    nn::BatchedForward bf(model.params());
+    std::vector<double> first, again, one;
+    model.predictBatch(bf, all, {}, first);
+    // A different shape in between (batch of one, longest block)...
+    model.predictBatch(bf, {all[1]}, {}, one);
+    // ...must not perturb a rerun of the original batch.
+    model.predictBatch(bf, all, {}, again);
+    ASSERT_EQ(first.size(), again.size());
+    EXPECT_TRUE(sameBits(one[0], first[1]));
+    for (size_t i = 0; i < first.size(); ++i)
+        EXPECT_TRUE(sameBits(first[i], again[i])) << "block " << i;
+}
+
+TEST(NnBatched, SurrogateModeMatchesSequentialBitExact)
+{
+    const core::ParamNormalizer norm(params::SamplingDist::full());
+    const surrogate::Model model(testConfig(norm.paramDim()),
+                                 isa::theVocab().size());
+    const params::ParamTable table =
+        hw::defaultTable(hw::Uarch::Haswell);
+
+    std::vector<isa::BasicBlock> blocks;
+    std::vector<surrogate::EncodedBlock> encoded;
+    for (const auto &text : raggedBlocks()) {
+        blocks.push_back(isa::parseBlock(text));
+        encoded.push_back(surrogate::encodeBlock(blocks.back()));
+    }
+
+    // Per-opcode parameter columns, as the serving engine feeds them.
+    std::vector<nn::Tensor> per_opcode;
+    for (size_t op = 0; op < table.numOpcodes(); ++op)
+        per_opcode.push_back(core::opcodeParamInput(
+            table, isa::OpcodeId(op), norm));
+    std::vector<const surrogate::EncodedBlock *> batch;
+    std::vector<std::vector<const nn::Tensor *>> inst_params;
+    for (size_t b = 0; b < blocks.size(); ++b) {
+        batch.push_back(&encoded[b]);
+        inst_params.emplace_back();
+        for (const auto &inst : blocks[b].insts)
+            inst_params.back().push_back(
+                &per_opcode[size_t(inst.opcode)]);
+    }
+
+    nn::BatchedForward bf(model.params());
+    std::vector<double> batched;
+    model.predictBatch(bf, batch, inst_params, batched);
+
+    for (size_t b = 0; b < blocks.size(); ++b) {
+        nn::Graph graph;
+        nn::Ctx ctx{graph, model.params(), nullptr};
+        auto inputs =
+            core::constParamInputs(graph, table, blocks[b], norm);
+        const double expected = graph.scalarValue(
+            model.forward(ctx, encoded[b], inputs));
+        EXPECT_TRUE(sameBits(batched[b], expected)) << "block " << b;
+    }
+}
+
+TEST(NnBatched, F32TracksF64OnGeneratedCorpus)
+{
+    const surrogate::Model model(
+        [] {
+            surrogate::ModelConfig cfg;
+            cfg.embedDim = 32;
+            cfg.hidden = 64;
+            cfg.tokenLayers = 1;
+            cfg.blockLayers = 2;
+            cfg.paramDim = 0;
+            cfg.seed = 0xf10a7;
+            return cfg;
+        }(),
+        isa::theVocab().size());
+
+    const auto corpus = bhive::Corpus::generate(200, 0x5eed);
+    std::vector<surrogate::EncodedBlock> encoded;
+    for (size_t i = 0; i < corpus.size(); ++i)
+        encoded.push_back(surrogate::encodeBlock(corpus[i].block));
+
+    const auto f64 = batchedHeads(model, encoded,
+                                  nn::Precision::kF64);
+    const auto f32 = batchedHeads(model, encoded,
+                                  nn::Precision::kF32);
+    ASSERT_EQ(f64.size(), f32.size());
+    double worst = 0.0;
+    for (size_t i = 0; i < f64.size(); ++i) {
+        // The serving accuracy gate: the prediction is exp(head), so
+        // compare the served values, not just the raw head outputs.
+        const double a = std::exp(std::min(f64[i], 30.0));
+        const double b = std::exp(std::min(f32[i], 30.0));
+        const double rel = std::fabs(a - b) / std::fabs(a);
+        worst = std::max(worst, rel);
+        EXPECT_LT(rel, 1e-5) << "block " << i;
+    }
+    // Not vacuous: f32 must actually differ from f64 somewhere.
+    EXPECT_GT(worst, 0.0);
+}
+
+TEST(NnBatched, F32IsDeterministic)
+{
+    const surrogate::Model model(testConfig(0),
+                                 isa::theVocab().size());
+    const auto encoded = encodeAll(raggedBlocks());
+    const auto a = batchedHeads(model, encoded, nn::Precision::kF32);
+    const auto b = batchedHeads(model, encoded, nn::Precision::kF32);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_TRUE(sameBits(a[i], b[i])) << "block " << i;
+}
+
+} // namespace
+} // namespace difftune

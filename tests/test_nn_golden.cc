@@ -38,6 +38,7 @@
 #include "core/trainer.hh"
 #include "io/checkpoint.hh"
 #include "isa/parse.hh"
+#include "nn/batched.hh"
 #include "nn/optim.hh"
 #include "params/sampling.hh"
 #include "surrogate/model.hh"
@@ -334,6 +335,70 @@ TEST(NnGolden, MatchesCommittedNumericsBitExactly)
             << key << ": engine produced " << value
             << " but the golden file disagrees — the nn/ rewrite "
                "changed the numerics";
+    }
+}
+
+TEST(NnGolden, BatchedForwardMatchesGoldenBitExactly)
+{
+    // The batched multi-block executor (nn/batched.hh) must
+    // reproduce the same golden bits as the sequential tape — both
+    // model modes, the whole golden workload as one ragged batch.
+    const auto golden = readGolden();
+    ASSERT_FALSE(golden.empty()) << "missing " << goldenPath;
+    auto expect = [&](const char *section, size_t i, double value) {
+        auto it = golden.find(std::string(section) + ":" +
+                              std::to_string(i));
+        ASSERT_NE(it, golden.end());
+        EXPECT_EQ(it->second, bits(value))
+            << section << ":" << i
+            << ": batched forward diverged from the golden file";
+    };
+
+    const auto encoded = encodeAll();
+    std::vector<const surrogate::EncodedBlock *> batch;
+    for (const auto &e : encoded)
+        batch.push_back(&e);
+
+    {
+        surrogate::Model model(goldenConfig(0),
+                               isa::theVocab().size());
+        nn::BatchedForward bf(model.params());
+        std::vector<double> heads;
+        model.predictBatch(bf, batch, {}, heads);
+        for (size_t i = 0; i < heads.size(); ++i)
+            expect("ithemal_pred", i, heads[i]);
+    }
+    {
+        const core::ParamNormalizer norm(
+            params::SamplingDist::full());
+        surrogate::Model model(goldenConfig(norm.paramDim()),
+                               isa::theVocab().size());
+        const params::ParamTable table = goldenTable();
+        std::vector<nn::Tensor> per_opcode;
+        for (size_t op = 0; op < table.numOpcodes(); ++op)
+            per_opcode.push_back(core::opcodeParamInput(
+                table, isa::OpcodeId(op), norm));
+        std::vector<std::vector<const nn::Tensor *>> inst_params;
+        for (const auto &text : goldenBlocks()) {
+            inst_params.emplace_back();
+            for (const auto &inst : isa::parseBlock(text).insts)
+                inst_params.back().push_back(
+                    &per_opcode[size_t(inst.opcode)]);
+        }
+        nn::BatchedForward bf(model.params());
+        surrogate::InstHiddenCache cache;
+        std::vector<double> heads;
+        model.predictBatch(bf, batch, inst_params, heads, &cache);
+        for (size_t i = 0; i < heads.size(); ++i)
+            expect("surrogate_pred", i,
+                   std::exp(std::min(heads[i], 30.0)));
+        // A rerun through the now-warm instruction cache must not
+        // change a bit either.
+        std::vector<double> again;
+        model.predictBatch(bf, batch, inst_params, again, &cache);
+        EXPECT_GT(cache.size(), 0u);
+        for (size_t i = 0; i < heads.size(); ++i)
+            EXPECT_EQ(bits(heads[i]), bits(again[i])) << i;
     }
 }
 

@@ -2,16 +2,21 @@
  * @file
  * Tests for the prediction-serving engine: cache-hit behavior and
  * canonicalization, batched == sequential == uncached predictions
- * (bit-exact), invariance to the worker count, surrogate-mode input
- * handling, and checkpoint validation at load.
+ * (bit-exact), batch boundary conditions (batch of one, batches
+ * larger than the shard working set, ragged block lengths crossing
+ * the lockstep masking path), invariance to the worker count,
+ * surrogate-mode input handling, the f32 serving mode and its
+ * checkpoint round trip, and checkpoint validation at load.
  */
 
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 
+#include "bhive/corpus.hh"
 #include "core/raw_table.hh"
 #include "hw/default_table.hh"
 #include "isa/parse.hh"
@@ -125,6 +130,74 @@ TEST(Engine, BatchedEqualsSequential)
               sampleBlocks.size());
 }
 
+TEST(Engine, BatchOfOneMatchesSingleAndUncached)
+{
+    PredictionEngine batched(ithemalCheckpoint());
+    PredictionEngine single(ithemalCheckpoint());
+    for (const auto &text : sampleBlocks) {
+        const auto results = batched.predictAll({text});
+        ASSERT_EQ(results.size(), 1u);
+        EXPECT_TRUE(sameBits(results[0], single.predict(text)));
+        EXPECT_TRUE(
+            sameBits(results[0], single.predictUncached(text)));
+    }
+}
+
+TEST(Engine, BatchLargerThanShardWorkingSet)
+{
+    // A single batch far larger than any shard's per-wave share (and
+    // than the earlier tests' working sets), with every block length
+    // in [1, ~8] represented: one predictAll spanning the whole
+    // generated corpus must match a block-at-a-time engine bit for
+    // bit.
+    const auto corpus = bhive::Corpus::generate(96, 0x5eed1);
+    std::vector<std::string> texts;
+    for (size_t i = 0; i < corpus.size(); ++i)
+        texts.push_back(isa::toString(corpus[i].block));
+
+    PredictionEngine batched(surrogateCheckpoint());
+    PredictionEngine sequential(surrogateCheckpoint());
+    const auto results = batched.predictAll(texts);
+    ASSERT_EQ(results.size(), texts.size());
+    for (size_t i = 0; i < texts.size(); ++i)
+        EXPECT_TRUE(
+            sameBits(results[i], sequential.predict(texts[i])))
+            << "block " << i;
+}
+
+TEST(Engine, RaggedBlockLengthsCrossTheMaskPath)
+{
+    // Lengths 1, 2, 5, 9 and 3 in one batch: every lockstep step
+    // retires a different subset of lanes, so each block's forward
+    // pass crosses the length-masking path at a different point.
+    const std::vector<std::string> ragged = {
+        "NOP\n",
+        "ADD32rr %ebx, %ecx\nIMUL64rr %rbx, %rcx\n",
+        "MOV64rm 8(%rsi), %rdi\nADD64rr %rdi, %rbx\n"
+        "IMUL64rr %rbx, %rcx\nCMP64rr %rcx, %rdx\nPUSH64r %rbx\n",
+        "NOP\nNOP\nADD32rr %ebx, %ecx\nPUSH64r %rbx\nPOP64r %rcx\n"
+        "IMUL64rr %rbx, %rcx\nCMP64rr %rcx, %rdx\nNOP\n"
+        "ADD64rr %rdi, %rbx\n",
+        "PUSH64r %rbx\nPOP64r %rcx\nADD32rr %ebx, %ecx\n",
+    };
+    PredictionEngine batched(surrogateCheckpoint());
+    PredictionEngine sequential(surrogateCheckpoint());
+    const auto results = batched.predictAll(ragged);
+    for (size_t i = 0; i < ragged.size(); ++i)
+        EXPECT_TRUE(
+            sameBits(results[i], sequential.predict(ragged[i])))
+            << "block " << i;
+    // And submission order must not matter.
+    PredictionEngine reversed(surrogateCheckpoint());
+    const std::vector<std::string> rev(ragged.rbegin(),
+                                       ragged.rend());
+    const auto back = reversed.predictAll(rev);
+    for (size_t i = 0; i < ragged.size(); ++i)
+        EXPECT_TRUE(sameBits(back[ragged.size() - 1 - i],
+                             results[i]))
+            << "block " << i;
+}
+
 TEST(Engine, ResultsInvariantUnderWorkerCount)
 {
     std::vector<double> reference;
@@ -208,6 +281,77 @@ TEST(Engine, FileRoundTripServesIdentically)
     for (const auto &text : sampleBlocks)
         EXPECT_TRUE(sameBits(original.predict(text),
                              restored.predict(text)));
+}
+
+TEST(Engine, F32ModeTracksDoubleWithinGate)
+{
+    PredictionEngine f64_engine(surrogateCheckpoint());
+    ServeConfig cfg;
+    cfg.precision = nn::Precision::kF32;
+    PredictionEngine f32_engine(surrogateCheckpoint(), cfg);
+    EXPECT_EQ(f32_engine.precision(), nn::Precision::kF32);
+
+    const auto corpus = bhive::Corpus::generate(64, 0xf32);
+    double worst = 0.0;
+    for (size_t i = 0; i < corpus.size(); ++i) {
+        const std::string text = isa::toString(corpus[i].block);
+        const double a = f64_engine.predict(text);
+        const double b = f32_engine.predict(text);
+        const double rel = std::fabs(a - b) / std::fabs(a);
+        EXPECT_LT(rel, 1e-5) << "block " << i;
+        worst = std::max(worst, rel);
+    }
+    // The gate is not vacuous: f32 must actually differ somewhere.
+    EXPECT_GT(worst, 0.0);
+}
+
+TEST(Engine, F32ModeSingleAndBatchedAgree)
+{
+    // Both cache-filling paths (batch-of-one predict and batched
+    // predictAll) must run the same f32 execution mode — a mixed
+    // cache would serve different bits for the same block depending
+    // on how it was first requested.
+    ServeConfig cfg;
+    cfg.precision = nn::Precision::kF32;
+    PredictionEngine single(ithemalCheckpoint(), cfg);
+    PredictionEngine batched(ithemalCheckpoint(), cfg);
+    const auto results = batched.predictAll(sampleBlocks);
+    for (size_t i = 0; i < sampleBlocks.size(); ++i)
+        EXPECT_TRUE(
+            sameBits(results[i], single.predict(sampleBlocks[i])))
+            << "block " << i;
+}
+
+TEST(Engine, F32CheckpointRoundTripsThroughInfoAndPredict)
+{
+    // An f32-weights checkpoint (the difftune_serve `convert` / info
+    // / predict cycle at library level): the loaded file reports its
+    // precision, and serving it through an f32 engine is
+    // bit-identical to serving the original f64 checkpoint through
+    // one — narrowing at save time and narrowing at load time are
+    // the same function.
+    io::Checkpoint original = surrogateCheckpoint();
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "difftune_serve_f32_roundtrip.ckpt")
+            .string();
+    io::saveCheckpoint(path, original.model.get(), &*original.dist,
+                       &*original.table, nn::Precision::kF32);
+
+    io::Checkpoint reloaded = io::loadCheckpoint(path);
+    std::remove(path.c_str());
+    ASSERT_TRUE(reloaded.model);
+    EXPECT_EQ(reloaded.weightPrecision, nn::Precision::kF32);
+    EXPECT_EQ(reloaded.model->config().paramDim,
+              original.model->config().paramDim);
+
+    ServeConfig cfg;
+    cfg.precision = nn::Precision::kF32;
+    PredictionEngine from_f64(std::move(original), cfg);
+    PredictionEngine from_f32(std::move(reloaded), cfg);
+    for (const auto &text : sampleBlocks)
+        EXPECT_TRUE(sameBits(from_f64.predict(text),
+                             from_f32.predict(text)));
 }
 
 TEST(Engine, RejectsCheckpointWithoutModel)

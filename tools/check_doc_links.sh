@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Fail on dead relative links in docs/**.md and README.md.
+#
+# Checks every inline markdown link [text](target) whose target is
+# not an absolute URL or a pure fragment: the referenced file (or
+# directory) must exist relative to the linking file. Fragments and
+# markdown link titles ("...") are stripped before the existence
+# check; paths with spaces are handled.
+#
+# Usage: check_doc_links.sh [repo-root]   (default: cwd)
+set -u
+root="${1:-.}"
+cd "$root" || exit 2
+
+fail=0
+checked=0
+found_any=0
+while IFS= read -r file; do
+    [ -n "$file" ] || continue
+    found_any=1
+    dir=$(dirname "$file")
+    # Inline links only; reference-style links are not used here.
+    while IFS= read -r target; do
+        [ -n "$target" ] || continue
+        case "$target" in
+        http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path="${target%%#*}"        # strip fragment
+        path="${path%% \"*}"        # strip markdown title
+        [ -n "$path" ] || continue
+        checked=$((checked + 1))
+        if [ ! -e "$dir/$path" ]; then
+            echo "dead link in $file: ($target)"
+            fail=1
+        fi
+    done < <(grep -o '\[[^]]*\]([^)]*)' "$file" \
+        | sed 's/^\[[^]]*\](//; s/)$//')
+done < <(find docs -name '*.md' 2>/dev/null; ls README.md 2>/dev/null)
+
+[ "$found_any" = 1 ] || { echo "docs-check: no markdown found"; exit 2; }
+echo "docs-check: $checked relative links checked"
+exit $fail
