@@ -13,16 +13,26 @@
  * reads, per-token input projections, instruction-hidden reuse),
  * and — in the second engine row — the f32 serving mode.
  *
+ * Serving API v2 additions: a resident-weight-bytes table showing
+ * what the shared WeightSnapshot deduplicates versus the pre-v2
+ * one-copy-per-shard layout, and a multi-threaded client mode
+ * (serve/workload.hh compareAsyncClients) pitting N concurrent
+ * threads submitting through the AsyncEngine micro-batcher against
+ * single-caller synchronous submission.
+ *
  * Floors (see docs/BENCHMARKS.md): the f64 engine must serve
  * bit-exactly at >= 3x over naive; under --smoke the speedup must
  * additionally reach >= 10x (the PR-4 batched-execution floor,
- * enforced by the CI bench-smoke job) and the f32 engine must stay
- * within 1e-5 relative error of the double reference.
+ * enforced by the CI bench-smoke job), the f32 engine must stay
+ * within 1e-5 relative error of the double reference, and on >= 2
+ * cores the multi-client aggregate must beat single-caller by
+ * >= 1.5x (skipped, not failed, on 1-core runners).
  */
 
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <thread>
 
 #include "bench/bench_util.hh"
 #include "core/experiment.hh"
@@ -38,6 +48,13 @@ using namespace difftune;
 /** CI floors under --smoke (docs/BENCHMARKS.md). */
 constexpr double smokeSpeedupFloor = 10.0;
 constexpr double f32RelErrGate = 1e-5;
+/**
+ * Multi-client floor: concurrent async submission must beat
+ * single-caller submission by this much in aggregate. Only enforced
+ * on >= 2 cores — on a 1-core runner the comparison is skipped (the
+ * dispatcher and the clients would just time-slice).
+ */
+constexpr double asyncSpeedupFloor = 1.5;
 
 } // namespace
 
@@ -78,8 +95,13 @@ main(int argc, char **argv)
             io::saveCheckpoint(path, &model, &dist, &table);
             const auto save_end = std::chrono::steady_clock::now();
 
+            // One load-once artifact serves every engine below; the
+            // cold-load figure covers the read + promotion + first
+            // engine bind (the v2 serving path).
             const auto load_begin = std::chrono::steady_clock::now();
-            auto engine = serve::PredictionEngine::fromFile(path);
+            const io::ModelSnapshot artifact =
+                io::loadModelSnapshot(path);
+            serve::PredictionEngine engine(artifact);
             const auto load_end = std::chrono::steady_clock::now();
 
             TextTable io_table({"Checkpoint", "Value"});
@@ -115,8 +137,7 @@ main(int argc, char **argv)
 
             serve::ServeConfig f32cfg;
             f32cfg.precision = nn::Precision::kF32;
-            auto engine32 =
-                serve::PredictionEngine::fromFile(path, f32cfg);
+            serve::PredictionEngine engine32(artifact, f32cfg);
             const auto timing32 = serve::engineVsNaive(
                 engine32, workload, naive, 250, f32RelErrGate);
 
@@ -159,6 +180,85 @@ main(int argc, char **argv)
                              "FAIL: batched-vs-naive speedup %.1fx "
                              "is under the %.0fx smoke floor\n",
                              timing.speedup(), smokeSpeedupFloor);
+                floors_ok = false;
+            }
+
+            // ---- Serving API v2: shared snapshot memory and the
+            // multi-threaded client mode. Both engines above were
+            // built from one loaded artifact, so at this point ONE
+            // WeightSnapshot is serving the f64 and the f32 engine:
+            // the f32 panels and input projections — per *shard*
+            // copies pre-v2 — and the per-opcode columns — per
+            // *engine* pre-v2 — are each resident exactly once.
+            const nn::WeightSnapshot &snapshot =
+                engine.async().snapshot();
+            // Pre-v2, each f64 shard held its own f64 projections
+            // and each f32 shard its own f32 panels + f32
+            // projections; the per-opcode columns were per engine.
+            const size_t pre_v2 =
+                size_t(engine.workers()) * snapshot.projBytesF64() +
+                size_t(engine32.workers()) *
+                    (snapshot.f32Bytes() + snapshot.projBytesF32()) +
+                2 * snapshot.inputColumnBytes();
+            TextTable mem({"Resident weight bytes", "Value"});
+            mem.addRow({"frozen f64 weights (in place)",
+                        std::to_string(snapshot.f64Bytes())});
+            mem.addRow({"derived, pre-v2 layout (per-shard copies, "
+                        "per-engine cols)",
+                        std::to_string(pre_v2)});
+            mem.addRow({"derived, v2 (1 shared snapshot, both "
+                        "engines)",
+                        std::to_string(snapshot.sharedBytes())});
+            std::cout << mem.render();
+
+            const unsigned cores =
+                std::thread::hardware_concurrency();
+            const int threads = int(std::min(4u, cores));
+            if (cores < 2) {
+                std::cout << "multi-threaded client mode: skipped "
+                             "(1-core runner; floor needs >= 2 "
+                             "cores)\n";
+                return;
+            }
+            const auto clients = serve::compareAsyncClients(
+                artifact, workload, threads, &naive);
+            TextTable table3({"Submission", "Throughput", "Notes"});
+            table3.addRow(
+                {"single caller (sync, 1 thread)",
+                 fmtDouble(double(requests) / clients.singleSeconds,
+                           0) +
+                     " blk/s",
+                 "v1 usage style"});
+            table3.addRow(
+                {"async clients (" + std::to_string(threads) +
+                     " threads)",
+                 fmtDouble(double(requests) / clients.asyncSeconds,
+                           0) +
+                     " blk/s",
+                 fmtDouble(double(requests) / clients.asyncSeconds /
+                               threads,
+                           0) +
+                     " blk/s/thread, micro-batched"});
+            table3.addRow(
+                {"aggregate speedup",
+                 fmtDouble(clients.speedup(), 2) + "x",
+                 smoke ? "smoke floor: 1.5x" : "floor: 1.5x"});
+            table3.addRow(
+                {"async latency p50/p95/p99",
+                 fmtDouble(clients.latency.p50 * 1e6, 0) + " / " +
+                     fmtDouble(clients.latency.p95 * 1e6, 0) +
+                     " / " +
+                     fmtDouble(clients.latency.p99 * 1e6, 0) +
+                     " us",
+                 "submit-to-get, bit-exact vs naive"});
+            std::cout << table3.render();
+
+            if (smoke && clients.speedup() < asyncSpeedupFloor) {
+                std::fprintf(stderr,
+                             "FAIL: async multi-client speedup "
+                             "%.2fx is under the %.1fx smoke "
+                             "floor\n",
+                             clients.speedup(), asyncSpeedupFloor);
                 floors_ok = false;
             }
         });

@@ -9,8 +9,9 @@
  *   difftune_serve save-ithemal <uarch> <out.ckpt> [corpus_size]
  *       Train the Ithemal baseline and save a model-only checkpoint.
  *   difftune_serve info <ckpt>
- *       Print the checkpoint's sections, dimensions and weight
- *       precision.
+ *       Print the checkpoint's sections, dimensions, weight
+ *       precision and the serving memory footprint (the derived
+ *       bytes all workers share through one WeightSnapshot).
  *   difftune_serve predict <ckpt> <block.s|->...
  *       Load the checkpoint once and predict each block file's
  *       timing (one result line per file; '-' reads stdin). Printed
@@ -21,9 +22,13 @@
  *       half-size serving-only artifact; see
  *       docs/CHECKPOINT_FORMAT.md for the format-version semantics).
  *   difftune_serve bench <ckpt> [requests] [unique_blocks] [--f32]
- *       Measure cold-load latency and batched-engine vs naive
- *       throughput on a skewed synthetic workload; --f32 serves the
- *       engine pass in the accuracy-gated float mode.
+ *                        [--threads N]
+ *       Measure cold-load latency, batched-engine vs naive
+ *       throughput, cache-counter and shared-snapshot stats on a
+ *       skewed synthetic workload; --f32 serves the engine pass in
+ *       the accuracy-gated float mode, --threads N adds the
+ *       multi-threaded async client mode (N concurrent submitters
+ *       vs one synchronous caller, with latency percentiles).
  *
  * Blocks use the canonical syntax printed by the library, one
  * instruction per line.
@@ -168,6 +173,24 @@ cmdInfo(int argc, char **argv)
     if (ckpt.table)
         std::cout << "  parameter table: " << ckpt.table->numOpcodes()
                   << " opcodes\n";
+    if (ckpt.model) {
+        // Serving footprint: what one engine (any worker count)
+        // keeps resident through the shared WeightSnapshot.
+        try {
+            serve::PredictionEngine probe(
+                io::makeModelSnapshot(std::move(ckpt)));
+            probe.predict("NOP\n"); // materialize the projections
+            const auto &snapshot = probe.async().snapshot();
+            std::cout << "  serving: " << snapshot.f64Bytes()
+                      << " weight bytes in place, "
+                      << probe.async().sharedWeightBytes()
+                      << " derived bytes shared across "
+                      << probe.workers() << " workers\n";
+        } catch (const std::exception &error) {
+            std::cout << "  serving: unavailable ("
+                      << stripErrorPrefix(error.what()) << ")\n";
+        }
+    }
     return 0;
 }
 
@@ -212,15 +235,21 @@ int
 cmdBench(int argc, char **argv)
 {
     bool f32 = false;
+    int threads = 0;
     std::vector<char *> args;
     for (int i = 0; i < argc; ++i) {
-        if (std::string(argv[i]) == "--f32")
+        if (std::string(argv[i]) == "--f32") {
             f32 = true;
-        else
+        } else if (std::string(argv[i]) == "--threads") {
+            fatal_if(i + 1 >= argc, "--threads needs a count");
+            threads = std::stoi(argv[++i]);
+            fatal_if(threads < 1, "--threads needs a count >= 1");
+        } else {
             args.push_back(argv[i]);
+        }
     }
-    fatal_if(args.size() < 3,
-             "usage: bench <ckpt> [requests] [unique] [--f32]");
+    fatal_if(args.size() < 3, "usage: bench <ckpt> [requests] "
+                              "[unique] [--f32] [--threads N]");
     const std::string path = args[2];
     const size_t requests =
         args.size() > 3 ? std::stoul(args[3]) : 4000;
@@ -230,7 +259,8 @@ cmdBench(int argc, char **argv)
     if (f32)
         cfg.precision = nn::Precision::kF32;
     const auto load_begin = std::chrono::steady_clock::now();
-    auto engine = serve::PredictionEngine::fromFile(path, cfg);
+    const io::ModelSnapshot artifact = io::loadModelSnapshot(path);
+    serve::PredictionEngine engine(artifact, cfg);
     const auto load_end = std::chrono::steady_clock::now();
     const double load_ms =
         1e3 * serve::secondsBetween(load_begin, load_end);
@@ -243,9 +273,11 @@ cmdBench(int argc, char **argv)
 
     // Naive (fresh double graph per request) vs the batched engine,
     // waves of requests as at a serving endpoint (serve/workload.hh).
-    // The f32 engine is accuracy-gated rather than bit-gated.
-    const auto timing = serve::compareThroughput(
-        engine, workload, 250, f32 ? 1e-5 : 0.0);
+    // The f32 engine is accuracy-gated rather than bit-gated. One
+    // naive pass serves both this comparison and the client mode.
+    const serve::NaiveRun naive = serve::runNaive(engine, workload);
+    const auto timing = serve::engineVsNaive(
+        engine, workload, naive, 250, f32 ? 1e-5 : 0.0);
 
     const auto &stats = engine.stats();
     std::cout << "workload: " << workload.size() << " requests over "
@@ -257,13 +289,50 @@ cmdBench(int argc, char **argv)
               << fmtDouble(double(requests) / timing.engineSeconds, 0)
               << " blocks/s ("
               << nn::precisionName(engine.precision()) << ", "
-              << engine.workers() << " workers, " << stats.hits
-              << " cache hits, speedup "
-              << fmtDouble(timing.speedup(), 1) << "x)\n";
+              << engine.workers() << " workers, speedup "
+              << fmtDouble(timing.speedup(), 1) << "x)\n"
+              << "stats:  " << stats.requests.load() << " requests, "
+              << stats.textHits.load() << " raw-text hits / "
+              << stats.textMisses.load() << " misses, "
+              << stats.hits.load() << " total cache hits, "
+              << stats.forwards.load() << " forwards, "
+              << stats.batches.load() << " batches\n"
+              << "shared snapshot: "
+              << engine.async().sharedWeightBytes()
+              << " derived bytes resident once (pre-v2 layout: "
+              << (engine.async().snapshot().f32Bytes() +
+                  engine.async().snapshot().projBytes()) *
+                     size_t(engine.workers()) +
+                     engine.async().snapshot().inputColumnBytes()
+              << ")\n";
     if (f32)
         std::cout << "max rel err vs double: "
                   << fmtDouble(timing.maxRelErr * 1e6, 2)
                   << "e-6 (gate 1e-5)\n";
+
+    if (threads > 0) {
+        // Client mode: N concurrent threads submitting through the
+        // micro-batcher vs one synchronous caller (bit-checked
+        // against the naive pass in f64). --threads 1 is allowed
+        // and measures the micro-batcher's single-client overhead.
+        serve::AsyncConfig acfg;
+        acfg.precision = cfg.precision;
+        const auto clients = serve::compareAsyncClients(
+            artifact, workload, threads,
+            f32 ? nullptr : &naive, acfg);
+        std::cout
+            << "single caller: "
+            << fmtDouble(double(requests) / clients.singleSeconds, 0)
+            << " blocks/s\n"
+            << "async x" << threads << ":      "
+            << fmtDouble(double(requests) / clients.asyncSeconds, 0)
+            << " blocks/s ("
+            << fmtDouble(clients.speedup(), 2)
+            << "x aggregate, p50/p95/p99 "
+            << fmtDouble(clients.latency.p50 * 1e6, 0) << "/"
+            << fmtDouble(clients.latency.p95 * 1e6, 0) << "/"
+            << fmtDouble(clients.latency.p99 * 1e6, 0) << " us)\n";
+    }
     return 0;
 }
 

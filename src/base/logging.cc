@@ -35,6 +35,15 @@ fatalImpl(const char *file, int line, const std::string &msg)
     throw std::runtime_error("fatal: " + msg);
 }
 
+std::string
+stripErrorPrefix(const std::string &msg)
+{
+    static const std::string prefix = "fatal: ";
+    if (msg.rfind(prefix, 0) == 0)
+        return msg.substr(prefix.size());
+    return msg;
+}
+
 void
 warnImpl(const std::string &msg)
 {

@@ -72,6 +72,13 @@ void warnImpl(const std::string &msg);
 /** Print an informational message to stderr; execution continues. */
 void informImpl(const std::string &msg);
 
+/**
+ * Drop fatal()'s "fatal: " prefix from a caught exception's what()
+ * so that re-raising with added context ("checkpoint 'x': {}") does
+ * not stutter the prefix.
+ */
+std::string stripErrorPrefix(const std::string &msg);
+
 /** Enable/disable inform() output (benches silence it). */
 void setVerbose(bool verbose);
 

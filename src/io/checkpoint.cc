@@ -63,18 +63,19 @@ ChunkWriter::writeFile(const std::string &path) const
 
 // ------------------------------------------------------------ ChunkReader
 
-ChunkReader::ChunkReader(std::string bytes) : bytes_(std::move(bytes))
+ChunkReader::ChunkReader(std::string bytes, std::string source)
+    : bytes_(std::move(bytes)), source_(std::move(source))
 {
-    ByteReader reader(bytes_, "checkpoint");
+    ByteReader reader(bytes_, source_.c_str());
     const std::string_view magic = reader.bytes(sizeof(checkpointMagic));
     fatal_if(magic !=
                  std::string_view(checkpointMagic, sizeof(checkpointMagic)),
-             "not a difftune checkpoint (bad magic)");
+             "{}: not a difftune checkpoint (bad magic)", source_);
     const uint32_t version = reader.u32();
     fatal_if(version < 1 || version > checkpointVersion,
-             "unsupported checkpoint version {} (this build reads "
-             "1..{})",
-             version, checkpointVersion);
+             "{}: unsupported checkpoint version {} (this build "
+             "reads 1..{})",
+             source_, version, checkpointVersion);
     const uint32_t count = reader.u32();
     chunks_.reserve(count);
     for (uint32_t i = 0; i < count; ++i) {
@@ -82,19 +83,19 @@ ChunkReader::ChunkReader(std::string bytes) : bytes_(std::move(bytes))
         chunk.tag = std::string(reader.bytes(4));
         const uint64_t size = reader.u64();
         fatal_if(size > reader.remaining(),
-                 "truncated checkpoint: chunk '{}' claims {} bytes, {} "
+                 "{}: truncated: chunk '{}' claims {} bytes, {} "
                  "remain",
-                 chunk.tag, size, reader.remaining());
+                 source_, chunk.tag, size, reader.remaining());
         chunk.payload = reader.bytes(size_t(size));
         const uint32_t stored_crc = reader.u32();
         const uint32_t actual_crc = crc32(chunk.payload);
         fatal_if(stored_crc != actual_crc,
-                 "corrupt checkpoint: chunk '{}' CRC mismatch "
+                 "{}: corrupt: chunk '{}' CRC mismatch "
                  "(stored {}, computed {})",
-                 chunk.tag, stored_crc, actual_crc);
+                 source_, chunk.tag, stored_crc, actual_crc);
         for (const Chunk &seen : chunks_)
             fatal_if(seen.tag == chunk.tag,
-                     "corrupt checkpoint: duplicate chunk '{}'",
+                     "{}: corrupt: duplicate chunk '{}'", source_,
                      chunk.tag);
         chunks_.push_back(std::move(chunk));
     }
@@ -109,7 +110,8 @@ ChunkReader::fromFile(const std::string &path)
     std::ostringstream buffer;
     buffer << in.rdbuf();
     fatal_if(in.bad(), "read of checkpoint '{}' failed", path);
-    return ChunkReader(std::move(buffer).str());
+    return ChunkReader(std::move(buffer).str(),
+                       "checkpoint '" + path + "'");
 }
 
 bool
@@ -127,7 +129,7 @@ ChunkReader::payload(std::string_view tag) const
     for (const Chunk &chunk : chunks_)
         if (chunk.tag == tag)
             return chunk.payload;
-    fatal("checkpoint has no '{}' chunk", std::string(tag));
+    fatal("{}: no '{}' chunk", source_, std::string(tag));
 }
 
 // --------------------------------------------------------- section codecs
@@ -405,6 +407,29 @@ saveTableCheckpoint(const std::string &path,
     saveCheckpoint(path, nullptr, nullptr, &table);
 }
 
+namespace
+{
+
+/**
+ * Run a section decode, tagging any error with the file path and
+ * the chunk it came from — a bad file must always be identifiable
+ * from the message alone.
+ */
+template <typename Fn>
+auto
+decodeChunk(const std::string &path, const char *tag, Fn &&decode)
+    -> decltype(decode())
+{
+    try {
+        return decode();
+    } catch (const std::exception &error) {
+        fatal("checkpoint '{}': chunk '{}': {}", path, tag,
+              stripErrorPrefix(error.what()));
+    }
+}
+
+} // namespace
+
 Checkpoint
 loadCheckpoint(const std::string &path)
 {
@@ -413,42 +438,56 @@ loadCheckpoint(const std::string &path)
     const bool has_f64 = reader.has(tagModelWeights);
     const bool has_f32 = reader.has(tagModelWeightsF32);
     fatal_if(has_f64 && has_f32,
-             "corrupt checkpoint: both f64 and f32 weight chunks");
+             "checkpoint '{}': corrupt: both f64 and f32 weight "
+             "chunks",
+             path);
     if (reader.has(tagModelConfig)) {
         fatal_if(!has_f64 && !has_f32,
-                 "checkpoint has a model config but no weights");
-        const surrogate::ModelConfig config = decodeModelConfig(
-            reader.payload(tagModelConfig), checkpoint.vocabSize);
+                 "checkpoint '{}': has a model config but no weights",
+                 path);
+        const surrogate::ModelConfig config =
+            decodeChunk(path, tagModelConfig, [&] {
+                return decodeModelConfig(
+                    reader.payload(tagModelConfig),
+                    checkpoint.vocabSize);
+            });
         // Bound the Model allocation by the weights actually on disk
         // before constructing it — a crafted config chunk must not be
         // able to demand terabytes the weights chunk does not hold.
-        const std::string_view weights = reader.payload(
-            has_f64 ? tagModelWeights : tagModelWeightsF32);
+        const char *weights_tag =
+            has_f64 ? tagModelWeights : tagModelWeightsF32;
+        const std::string_view weights = reader.payload(weights_tag);
         const double expected =
             expectedModelScalars(config, checkpoint.vocabSize);
         const double scalar_bytes = has_f64 ? 8.0 : 4.0;
         fatal_if(expected * scalar_bytes > double(weights.size()),
-                 "corrupt checkpoint: model config implies {} weight "
-                 "scalars but the weights chunk holds {} bytes",
-                 expected, weights.size());
+                 "checkpoint '{}': corrupt: model config implies {} "
+                 "weight scalars but chunk '{}' holds {} bytes",
+                 path, expected, weights_tag, weights.size());
         checkpoint.model = std::make_unique<surrogate::Model>(
             config, checkpoint.vocabSize);
-        if (has_f64) {
-            decodeParamSet(weights, checkpoint.model->params());
-        } else {
-            decodeParamSetF32(weights, checkpoint.model->params());
-            checkpoint.weightPrecision = nn::Precision::kF32;
-        }
+        decodeChunk(path, weights_tag, [&] {
+            if (has_f64) {
+                decodeParamSet(weights, checkpoint.model->params());
+            } else {
+                decodeParamSetF32(weights,
+                                  checkpoint.model->params());
+                checkpoint.weightPrecision = nn::Precision::kF32;
+            }
+        });
     } else {
         fatal_if(has_f64 || has_f32,
-                 "checkpoint has model weights but no config");
+                 "checkpoint '{}': has model weights but no config",
+                 path);
     }
     if (reader.has(tagSamplingDist))
-        checkpoint.dist =
-            decodeSamplingDist(reader.payload(tagSamplingDist));
+        checkpoint.dist = decodeChunk(path, tagSamplingDist, [&] {
+            return decodeSamplingDist(reader.payload(tagSamplingDist));
+        });
     if (reader.has(tagParamTable))
-        checkpoint.table =
-            decodeParamTable(reader.payload(tagParamTable));
+        checkpoint.table = decodeChunk(path, tagParamTable, [&] {
+            return decodeParamTable(reader.payload(tagParamTable));
+        });
     return checkpoint;
 }
 

@@ -104,10 +104,15 @@ class ChunkWriter
 class ChunkReader
 {
   public:
-    /** Parse @p bytes; fatal on any structural defect. */
-    explicit ChunkReader(std::string bytes);
+    /**
+     * Parse @p bytes; fatal on any structural defect. @p source
+     * names the container in every error message — fromFile passes
+     * the file path, so a bad file is always identified by name.
+     */
+    explicit ChunkReader(std::string bytes,
+                         std::string source = "checkpoint");
 
-    /** Read and parse @p path. */
+    /** Read and parse @p path (errors name the path). */
     static ChunkReader fromFile(const std::string &path);
 
     bool has(std::string_view tag) const;
@@ -117,6 +122,9 @@ class ChunkReader
 
     size_t numChunks() const { return chunks_.size(); }
 
+    /** The container name used in error messages. */
+    const std::string &source() const { return source_; }
+
   private:
     struct Chunk
     {
@@ -125,6 +133,7 @@ class ChunkReader
     };
 
     std::string bytes_;
+    std::string source_;
     std::vector<Chunk> chunks_;
 };
 

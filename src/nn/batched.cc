@@ -67,28 +67,26 @@ BatchedForward::weight(int index) const
 template <> const float *
 BatchedForward::weight(int index) const
 {
-    return f32_.weights.data() + f32_.offsets[size_t(index)];
+    return snapshot_->weightF32(index);
+}
+
+BatchedForward::BatchedForward(
+    std::shared_ptr<const WeightSnapshot> snapshot,
+    Precision precision)
+    : snapshot_(std::move(snapshot)), params_(snapshot_->params()),
+      precision_(precision)
+{
+    // The f32 panels live in the snapshot: the first kF32 bind pays
+    // the one-time conversion, every later bind reuses it.
+    if (precision_ == Precision::kF32)
+        snapshot_->ensureF32();
 }
 
 BatchedForward::BatchedForward(const ParamSet &params,
                                Precision precision)
-    : params_(params), precision_(precision)
+    : BatchedForward(std::make_shared<WeightSnapshot>(params),
+                     precision)
 {
-    if (precision_ != Precision::kF32)
-        return;
-    // The one-time weight conversion: every parameter tensor,
-    // narrowed to float, packed back to back. Done here so a serving
-    // engine pays it once per checkpoint load, not per batch.
-    f32_.offsets.reserve(params.count());
-    size_t total = 0;
-    for (size_t i = 0; i < params.count(); ++i) {
-        f32_.offsets.push_back(total);
-        total += params[int(i)].size();
-    }
-    f32_.weights.reserve(total);
-    for (size_t i = 0; i < params.count(); ++i)
-        for (double v : params[int(i)].data)
-            f32_.weights.push_back(float(v));
 }
 
 void
@@ -375,30 +373,6 @@ laneCellUpdate(const T *__restrict z, T *__restrict h,
 } // namespace
 
 template <typename T>
-const T *
-BatchedForward::projTable(int wx, int table, int rows, int in_dim)
-{
-    Lanes<T> &ws = lanes<T>();
-    for (const auto &entry : ws.proj)
-        if (entry.wx == wx && entry.table == table)
-            return entry.data.data();
-    ProjEntry<T> entry;
-    entry.wx = wx;
-    entry.table = table;
-    entry.rows = rows;
-    const int table_rows = params_[table].rows;
-    entry.data.resize(size_t(table_rows) * rows);
-    const T *wxv = weight<T>(wx);
-    const T *tab = weight<T>(table);
-    for (int row = 0; row < table_rows; ++row)
-        matvecForwardT(wxv, tab + size_t(row) * in_dim,
-                       entry.data.data() + size_t(row) * rows, rows,
-                       in_dim);
-    ws.proj.push_back(std::move(entry));
-    return ws.proj.back().data.data();
-}
-
-template <typename T>
 void
 BatchedForward::runImpl(const LstmStackRef &stack)
 {
@@ -475,9 +449,11 @@ BatchedForward::runImpl(const LstmStackRef &stack)
                 if (tab >= 0) {
                     // The step's input is row r of a parameter
                     // table (an embedding gather): its Wx product
-                    // is precomputed per vocabulary entry, so the
-                    // whole layer-0 input matvec is skipped.
-                    const T *proj = projTable<T>(
+                    // is precomputed per vocabulary entry — in the
+                    // shared snapshot, once across all sibling
+                    // executors — so the whole layer-0 input matvec
+                    // is skipped.
+                    const T *proj = snapshot_->projTable<T>(
                         layer.wx, tab, 4 * hidden, in_dim);
                     const int32_t row =
                         rowIdx_[size_t(lane.step0) + size_t(t)];

@@ -19,6 +19,13 @@
  *    product of every table row is precomputed once per (weight,
  *    table) pair and the whole layer-0 input matvec is skipped.
  *
+ * All weight-derived state — the f64 view, the lazily-converted f32
+ * panels and the input-projection tables — lives in an immutable
+ * nn::WeightSnapshot (see nn/snapshot.hh) that the executor borrows
+ * through a shared_ptr. Any number of executors (e.g. the serving
+ * engine's shards) bind one snapshot and share a single copy; an
+ * executor only owns its per-batch lane scratch.
+ *
  * # Bit-stability contract (double precision)
  *
  * In Precision::kF64 every per-lane arithmetic operation replicates
@@ -42,8 +49,9 @@
  * # Single-precision serving (Precision::kF32)
  *
  * An opt-in inference mode for serving: all parameters are
- * converted to float once at construction (i.e. once per checkpoint
- * load), the kernels run in single precision, and the sigmoid/tanh
+ * converted to float once per *snapshot* (the first kF32 executor
+ * bind triggers it; later binds reuse the shared panels), the
+ * kernels run in single precision, and the sigmoid/tanh
  * transcendentals — the other dominant cost at serving widths — go
  * through fast polynomial approximations (straight-line float
  * arithmetic, deterministic, auto-vectorizable) instead of libm.
@@ -68,9 +76,10 @@
 #define DIFFTUNE_NN_BATCHED_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
-#include "nn/graph.hh"
+#include "nn/snapshot.hh"
 
 namespace difftune::nn
 {
@@ -120,8 +129,19 @@ class BatchedForward
 {
   public:
     /**
-     * Bind to @p params. kF64 reads the ParamSet storage in place;
-     * kF32 converts every parameter to float once, here.
+     * Borrow @p snapshot (shared with any number of sibling
+     * executors). kF64 reads the snapshot's ParamSet storage in
+     * place; kF32 triggers the snapshot's one-time f32 conversion
+     * (a no-op if a sibling already did).
+     */
+    explicit BatchedForward(
+        std::shared_ptr<const WeightSnapshot> snapshot,
+        Precision precision = Precision::kF64);
+
+    /**
+     * Convenience: bind to @p params through a private snapshot
+     * (for standalone users — tests, benches). @p params must
+     * outlive the executor; nothing is shared.
      */
     explicit BatchedForward(const ParamSet &params,
                             Precision precision = Precision::kF64);
@@ -130,6 +150,14 @@ class BatchedForward
     BatchedForward &operator=(const BatchedForward &) = delete;
 
     Precision precision() const { return precision_; }
+
+    const WeightSnapshot &snapshot() const { return *snapshot_; }
+
+    const std::shared_ptr<const WeightSnapshot> &
+    snapshotPtr() const
+    {
+        return snapshot_;
+    }
 
     // ---- Ragged batch assembly
 
@@ -189,32 +217,13 @@ class BatchedForward
     size_t numLanes() const { return lanes_.size(); }
 
   private:
-    /**
-     * Precomputed input projection: row r of @p data is the shared
-     * matvec kernel's product of weight @p wx against row r of
-     * parameter table @p table — bit-identical to computing it at
-     * step time, done once per (wx, table) pair instead of once per
-     * lane step.
-     */
-    template <typename T> struct ProjEntry
-    {
-        int wx = -1;
-        int table = -1;
-        int rows = 0; ///< output rows per table row (4H)
-        std::vector<T> data;
-    };
-
-    /** Per-precision storage; only the active precision's is used. */
+    /** Per-precision scratch; only the active precision's is used. */
     template <typename T> struct Lanes
     {
-        std::vector<T> weights;       ///< kF32: converted ParamSet
-        std::vector<size_t> offsets;  ///< kF32: per-tensor offsets
-        std::vector<T> in;            ///< ragged inputs, lane-major
-        std::vector<T> h, c;          ///< layers x lanes x hidden
-        std::vector<T> gates;         ///< one lane's z + wh scratch
-        std::vector<T> finalH;        ///< lanes x hidden (flat)
-        /** Lazy Wx-times-table products (see setInputParamRow). */
-        std::vector<ProjEntry<T>> proj;
+        std::vector<T> in;     ///< ragged inputs, lane-major
+        std::vector<T> h, c;   ///< layers x lanes x hidden
+        std::vector<T> gates;  ///< one lane's z + wh scratch
+        std::vector<T> finalH; ///< lanes x hidden (flat)
     };
 
     struct Lane
@@ -230,22 +239,12 @@ class BatchedForward
     /** Base pointer of parameter @p index in the working precision. */
     template <typename T> const T *weight(int index) const;
 
-    /**
-     * The precomputed projection of every row of parameter table
-     * @p table through weight @p wx (lazy; cached per (wx, table)
-     * pair for the executor's lifetime — the bound ParamSet is
-     * frozen by contract). Each projected row comes from the shared
-     * matvec kernel, so using one is bit-identical to running that
-     * matvec at step time.
-     */
-    template <typename T>
-    const T *projTable(int wx, int table, int rows, int in_dim);
-
     template <typename T> void runImpl(const LstmStackRef &stack);
     template <typename T>
     void headAllImpl(const LinearRef &head, double *out) const;
 
-    const ParamSet &params_;
+    std::shared_ptr<const WeightSnapshot> snapshot_;
+    const ParamSet &params_; ///< snapshot_->params(), cached
     Precision precision_;
 
     int dim_ = 0;           ///< input width of the batch being built

@@ -1,0 +1,549 @@
+/**
+ * @file
+ * AsyncEngine implementation.
+ *
+ * Locking order (always take in this order, never hold both unless
+ * noted): queueMutex_ guards only the request queue and the
+ * stop/flush flags; batchMutex_ guards the shard executors and is
+ * held across a whole serveBatch; the cache stripes are leaf locks
+ * taken under either or neither. The dispatcher serves with no
+ * queue lock held, so clients keep submitting while a batch runs.
+ */
+
+#include "serve/async_engine.hh"
+
+#include <chrono>
+#include <cmath>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "base/env.hh"
+#include "base/parallel.hh"
+#include "core/raw_table.hh"
+#include "isa/parse.hh"
+
+namespace difftune::serve
+{
+
+namespace
+{
+
+int
+cacheStripes(const AsyncConfig &config)
+{
+    return config.cacheStripes > 0 ? config.cacheStripes : 8;
+}
+
+} // namespace
+
+AsyncEngine::AsyncEngine(io::ModelSnapshot artifact,
+                         AsyncConfig config)
+    : artifact_(std::move(artifact)),
+      workers_(config.workers > 0 ? config.workers : workerThreads()),
+      precision_(config.precision), config_(config),
+      textCache_(config.cacheCapacity, cacheStripes(config)),
+      cache_(config.cacheCapacity, cacheStripes(config))
+{
+    fatal_if(!artifact_.model || !artifact_.weights,
+             "AsyncEngine needs a promoted ModelSnapshot "
+             "(io::makeModelSnapshot)");
+    fatal_if(config_.maxBatch == 0, "maxBatch must be >= 1");
+    fatal_if(config_.maxWaitMicros < 0, "maxWaitMicros must be >= 0");
+
+    const int param_dim = artifact_.model->config().paramDim;
+    if (param_dim > 0) {
+        // A DiffTune surrogate needs its frozen inputs: the learned
+        // table and the sampling distribution whose widths normalize
+        // the table entries.
+        fatal_if(!artifact_.table,
+                 "surrogate checkpoint (paramDim {}) carries no "
+                 "parameter table",
+                 param_dim);
+        fatal_if(!artifact_.dist,
+                 "surrogate checkpoint (paramDim {}) carries no "
+                 "sampling distribution",
+                 param_dim);
+        const params::ParamTable &table = *artifact_.table;
+        fatal_if(table.numOpcodes() != isa::theIsa().numOpcodes(),
+                 "checkpoint table has {} opcodes, ISA has {}",
+                 table.numOpcodes(), isa::theIsa().numOpcodes());
+        const core::ParamNormalizer norm(*artifact_.dist);
+        fatal_if(norm.paramDim() != param_dim,
+                 "checkpoint sampling distribution implies paramDim "
+                 "{}, model expects {}",
+                 norm.paramDim(), param_dim);
+        // The table is frozen from here on, so each opcode's input
+        // column is a constant. They live in the shared snapshot:
+        // a sibling engine that already completed them makes them
+        // visible through hasInputColumns and we skip the whole
+        // computation; in a genuine construction race both compute
+        // identical columns (pure function of the frozen
+        // checkpoint) and setInputColumns keeps the winner's with
+        // proper synchronization.
+        if (!artifact_.weights->hasInputColumns()) {
+            std::vector<nn::Tensor> columns;
+            columns.reserve(table.numOpcodes());
+            for (size_t op = 0; op < table.numOpcodes(); ++op)
+                columns.push_back(core::opcodeParamInput(
+                    table, isa::OpcodeId(op), norm));
+            artifact_.weights->setInputColumns(std::move(columns));
+        }
+    }
+    snapshot_ = artifact_.weights;
+
+    // One executor + instruction-hidden memo per shard, all
+    // borrowing the one snapshot: the kF32 conversion and every
+    // input projection happen once per engine (or once per
+    // *artifact*, when engines share), no longer once per shard.
+    // The dispatcher thread starts lazily on the first submit.
+    shards_.reserve(size_t(workers_));
+    for (int shard = 0; shard < workers_; ++shard) {
+        shards_.emplace_back();
+        shards_.back().batched = std::make_unique<nn::BatchedForward>(
+            snapshot_, precision_);
+    }
+}
+
+AsyncEngine::AsyncEngine(io::Checkpoint checkpoint, AsyncConfig config)
+    : AsyncEngine(io::makeModelSnapshot(std::move(checkpoint)),
+                  std::move(config))
+{
+}
+
+std::unique_ptr<AsyncEngine>
+AsyncEngine::loadFromFile(const std::string &path, AsyncConfig config)
+{
+    io::ModelSnapshot artifact = io::loadModelSnapshot(path);
+    try {
+        return std::make_unique<AsyncEngine>(std::move(artifact),
+                                             std::move(config));
+    } catch (const std::exception &error) {
+        fatal("cannot serve checkpoint '{}': {}", path,
+              stripErrorPrefix(error.what()));
+    }
+}
+
+AsyncEngine::~AsyncEngine()
+{
+    shutdown();
+}
+
+void
+AsyncEngine::shutdown()
+{
+    stopped_.store(true, std::memory_order_release);
+    {
+        std::lock_guard lock(queueMutex_);
+        stopping_ = true;
+        ++flushes_;
+    }
+    queueCv_.notify_all();
+    // Exactly one caller joins (joinable() goes false afterwards);
+    // shutdownMutex_ makes concurrent shutdown() calls — including
+    // one racing the destructor — serialize instead of double-join,
+    // and every caller returns only once the drain is complete.
+    std::lock_guard lock(shutdownMutex_);
+    if (dispatcher_.joinable())
+        dispatcher_.join();
+}
+
+// --------------------------------------------------------------- intake
+
+std::optional<double>
+AsyncEngine::frontProbe(const std::string &text)
+{
+    ++stats_.requests;
+    if (std::optional<double> hit = textCache_.get(text)) {
+        ++stats_.textHits;
+        ++stats_.hits;
+        return hit;
+    }
+    ++stats_.textMisses;
+    return std::nullopt;
+}
+
+std::future<double>
+AsyncEngine::submit(std::string block_text)
+{
+    // Intake closes atomically at shutdown — even for requests the
+    // front cache could still answer, so "closed" is unambiguous.
+    fatal_if(stopped_.load(std::memory_order_acquire),
+             "submit on a shut-down AsyncEngine");
+    std::promise<double> promise;
+    std::future<double> future = promise.get_future();
+    if (std::optional<double> hit = frontProbe(block_text)) {
+        promise.set_value(*hit);
+        return future;
+    }
+    {
+        std::lock_guard lock(queueMutex_);
+        if (stopping_) {
+            // Keep the counters reconciled (hits + misses ==
+            // requests) before rejecting.
+            ++stats_.misses;
+            fatal("submit on a shut-down AsyncEngine");
+        }
+        queue_.push_back(
+            Pending{std::move(block_text), std::move(promise)});
+        ensureDispatcherLocked();
+    }
+    queueCv_.notify_one();
+    return future;
+}
+
+std::vector<std::future<double>>
+AsyncEngine::submitAll(std::vector<std::string> block_texts)
+{
+    fatal_if(stopped_.load(std::memory_order_acquire),
+             "submitAll on a shut-down AsyncEngine");
+    std::vector<std::future<double>> futures;
+    futures.reserve(block_texts.size());
+    std::vector<Pending> fresh;
+    for (std::string &text : block_texts) {
+        std::promise<double> promise;
+        futures.push_back(promise.get_future());
+        if (std::optional<double> hit = frontProbe(text)) {
+            promise.set_value(*hit);
+            continue;
+        }
+        fresh.push_back(Pending{std::move(text), std::move(promise)});
+    }
+    if (!fresh.empty()) {
+        {
+            std::lock_guard lock(queueMutex_);
+            if (stopping_) {
+                stats_.misses += fresh.size();
+                fatal("submitAll on a shut-down AsyncEngine");
+            }
+            for (Pending &pending : fresh)
+                queue_.push_back(std::move(pending));
+            // The whole group is already here: let the dispatcher
+            // skip the coalescing wait.
+            ++flushes_;
+            ensureDispatcherLocked();
+        }
+        queueCv_.notify_all();
+    }
+    return futures;
+}
+
+// ----------------------------------------------------------- sync calls
+
+double
+AsyncEngine::predict(const std::string &block_text)
+{
+    if (std::optional<double> hit = frontProbe(block_text))
+        return *hit;
+    const std::vector<const std::string *> one{&block_text};
+    std::vector<Outcome> outcomes = serveBatch(one);
+    if (outcomes[0].error)
+        std::rethrow_exception(outcomes[0].error);
+    return outcomes[0].value;
+}
+
+std::vector<double>
+AsyncEngine::predictAll(const std::vector<std::string> &block_texts)
+{
+    std::vector<double> results(block_texts.size(), 0.0);
+    std::vector<uint32_t> unresolved;
+    std::vector<const std::string *> todo;
+    for (size_t i = 0; i < block_texts.size(); ++i) {
+        if (std::optional<double> hit = frontProbe(block_texts[i]))
+            results[i] = *hit;
+        else {
+            unresolved.push_back(uint32_t(i));
+            todo.push_back(&block_texts[i]);
+        }
+    }
+    if (!todo.empty()) {
+        std::vector<Outcome> outcomes = serveBatch(todo);
+        for (size_t j = 0; j < outcomes.size(); ++j) {
+            if (outcomes[j].error)
+                std::rethrow_exception(outcomes[j].error);
+            results[unresolved[j]] = outcomes[j].value;
+        }
+    }
+    return results;
+}
+
+double
+AsyncEngine::predictBlock(const isa::BasicBlock &block)
+{
+    ++stats_.requests;
+    ++stats_.textMisses; // this entry point bypasses the text cache
+    fatal_if(block.empty(), "cannot predict an empty block");
+    std::string key = isa::toString(block);
+    if (std::optional<double> hit = cache_.get(key)) {
+        ++stats_.hits;
+        return *hit;
+    }
+    std::lock_guard lock(batchMutex_);
+    // Re-probe under the batch lock: a racing batch may have just
+    // published this block.
+    if (std::optional<double> hit = cache_.get(key)) {
+        ++stats_.hits;
+        return *hit;
+    }
+    ++stats_.misses;
+    ++stats_.forwards;
+    ++stats_.batches;
+    // A batch of one on shard 0's executor: the cache must hold
+    // predictions from one execution mode only, whichever precision
+    // is being served.
+    std::vector<Miss> one(1);
+    one[0].block = block;
+    forwardMissBatch(0, one, 0, 1);
+    const double prediction = one[0].prediction;
+    cache_.put(std::move(key), prediction);
+    return prediction;
+}
+
+// ----------------------------------------------------------- batch core
+
+std::vector<AsyncEngine::Outcome>
+AsyncEngine::serveBatch(const std::vector<const std::string *> &texts)
+{
+    std::lock_guard lock(batchMutex_);
+    ++stats_.batches;
+    std::vector<Outcome> outcomes(texts.size());
+    std::vector<Miss> misses;
+    std::vector<uint32_t> parsed; ///< slots to publish to textCache_
+    /** In-batch raw-text dedup: first slot to parse each text. */
+    std::unordered_map<std::string_view, uint32_t> raw_first;
+    /** (duplicate slot, first slot) pairs resolved after publish. */
+    std::vector<std::pair<uint32_t, uint32_t>> raw_dups;
+    std::unordered_map<std::string, size_t> miss_index;
+
+    for (size_t i = 0; i < texts.size(); ++i) {
+        const std::string &text = *texts[i];
+        // Every request here already missed the front cache at
+        // submit time; re-probe in case a racing batch published it
+        // since.
+        if (std::optional<double> hit = textCache_.get(text)) {
+            ++stats_.hits;
+            outcomes[i].value = *hit;
+            continue;
+        }
+        auto [first, fresh] =
+            raw_first.try_emplace(text, uint32_t(i));
+        if (!fresh) {
+            // An exact repeat within this batch: skip the parse but
+            // count it as a miss — it was not in any cache when
+            // served (ServeStats::hits means answered from an LRU).
+            ++stats_.misses;
+            raw_dups.emplace_back(uint32_t(i), first->second);
+            continue;
+        }
+        isa::BasicBlock block;
+        std::string key;
+        try {
+            block = isa::parseBlock(text);
+            fatal_if(block.empty(), "cannot predict an empty block");
+            key = isa::toString(block);
+        } catch (...) {
+            // Per-request failure: this request's future carries the
+            // error; the rest of the batch is served normally.
+            outcomes[i].error = std::current_exception();
+            ++stats_.misses;
+            continue;
+        }
+        parsed.push_back(uint32_t(i));
+        if (std::optional<double> hit = cache_.get(key)) {
+            ++stats_.hits;
+            outcomes[i].value = *hit;
+            continue;
+        }
+        ++stats_.misses;
+        auto it = miss_index.find(key);
+        if (it == miss_index.end()) {
+            it = miss_index.emplace(key, misses.size()).first;
+            misses.push_back(
+                Miss{std::move(key), std::move(block), 0.0, {}});
+        }
+        misses[it->second].outputs.push_back(uint32_t(i));
+    }
+
+    stats_.forwards += misses.size();
+
+    // One batched executor per shard: the shard's misses run as one
+    // lane batch (shared weight reads, lockstep steps, instruction
+    // dedup). The shard partition is a pure function of (count,
+    // workers), and each lane's arithmetic is independent, so
+    // results do not depend on the worker count or the batch
+    // composition.
+    parallelShards(misses.size(), workers_,
+                   [&](size_t lo, size_t hi, int shard) {
+                       forwardMissBatch(shard, misses, lo, hi);
+                   });
+
+    // Publish in deterministic (batch) order.
+    for (Miss &miss : misses) {
+        for (uint32_t slot : miss.outputs)
+            outcomes[slot].value = miss.prediction;
+        cache_.put(std::move(miss.key), miss.prediction);
+    }
+    for (auto [dup, first] : raw_dups) {
+        if (outcomes[first].error)
+            outcomes[dup].error = outcomes[first].error;
+        else
+            outcomes[dup].value = outcomes[first].value;
+    }
+    for (uint32_t i : parsed)
+        textCache_.put(*texts[i], outcomes[i].value);
+    return outcomes;
+}
+
+void
+AsyncEngine::forwardMissBatch(int shard, std::vector<Miss> &misses,
+                              size_t lo, size_t hi)
+{
+    Shard &sh = shards_[size_t(shard)];
+    nn::BatchedForward &bf = *sh.batched;
+    const std::vector<nn::Tensor> &columns = snapshot_->inputColumns();
+    const size_t count = hi - lo;
+    std::vector<surrogate::EncodedBlock> encoded;
+    std::vector<const surrogate::EncodedBlock *> blocks;
+    std::vector<std::vector<const nn::Tensor *>> inst_params;
+    encoded.reserve(count);
+    blocks.reserve(count);
+    for (size_t m = lo; m < hi; ++m)
+        encoded.push_back(surrogate::encodeBlock(misses[m].block));
+    for (const auto &e : encoded)
+        blocks.push_back(&e);
+    if (!columns.empty()) {
+        inst_params.reserve(count);
+        for (size_t m = lo; m < hi; ++m) {
+            inst_params.emplace_back();
+            inst_params.back().reserve(misses[m].block.size());
+            for (const auto &inst : misses[m].block.insts)
+                inst_params.back().push_back(
+                    &columns[size_t(inst.opcode)]);
+        }
+    }
+    std::vector<double> heads;
+    artifact_.model->predictBatch(bf, blocks, inst_params, heads,
+                                  &sh.instCache);
+    // Same expression as Graph::exp (the sequential path's final
+    // node), so the kF64 batched prediction is bit-identical to
+    // forwardEncoded's.
+    for (size_t m = lo; m < hi; ++m)
+        misses[m].prediction =
+            std::exp(std::min(heads[m - lo], 30.0));
+}
+
+double
+AsyncEngine::forwardEncoded(nn::Graph &graph,
+                            const surrogate::EncodedBlock &encoded,
+                            const isa::BasicBlock &block) const
+{
+    fatal_if(block.empty(), "cannot predict an empty block");
+    const std::vector<nn::Tensor> &columns = snapshot_->inputColumns();
+    nn::Ctx ctx{graph, artifact_.model->params(), nullptr};
+    std::vector<nn::Var> inputs;
+    if (!columns.empty()) {
+        inputs.reserve(block.size());
+        for (const auto &inst : block.insts)
+            inputs.push_back(
+                graph.input(columns[size_t(inst.opcode)]));
+    }
+    nn::Var pred = graph.exp(
+        artifact_.model->forward(ctx, encoded, inputs));
+    return graph.scalarValue(pred);
+}
+
+double
+AsyncEngine::predictUncached(const std::string &block_text) const
+{
+    const isa::BasicBlock block = isa::parseBlock(block_text);
+    nn::Graph graph;
+    return forwardEncoded(graph, surrogate::encodeBlock(block), block);
+}
+
+// ----------------------------------------------------------- dispatcher
+
+void
+AsyncEngine::ensureDispatcherLocked()
+{
+    if (dispatcherStarted_)
+        return;
+    dispatcherStarted_ = true;
+    // The new thread blocks on queueMutex_ until the caller
+    // releases it, then finds the request that triggered the start.
+    dispatcher_ = std::thread(&AsyncEngine::dispatchLoop, this);
+}
+
+void
+AsyncEngine::dispatchLoop()
+{
+    std::vector<Pending> batch;
+    uint64_t served_flushes = 0;
+    while (true) {
+        {
+            std::unique_lock lock(queueMutex_);
+            queueCv_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping and fully drained
+            // Coalescing window: an undersized batch waits briefly
+            // for company — unless a flush (submitAll group,
+            // shutdown) already promised none is coming.
+            if (!stopping_ && queue_.size() < config_.maxBatch &&
+                served_flushes == flushes_ &&
+                config_.maxWaitMicros > 0) {
+                queueCv_.wait_for(
+                    lock,
+                    std::chrono::microseconds(config_.maxWaitMicros),
+                    [this, served_flushes] {
+                        return stopping_ ||
+                               queue_.size() >= config_.maxBatch ||
+                               served_flushes != flushes_;
+                    });
+            }
+            const size_t take =
+                std::min(queue_.size(), config_.maxBatch);
+            batch.clear();
+            batch.reserve(take);
+            for (size_t i = 0; i < take; ++i) {
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+            // Only a fully-drained queue re-arms the coalescing
+            // wait: a remainder (the tail of an oversized group, or
+            // a backlog of singles deeper than maxBatch) is dense
+            // traffic that must be served immediately, not held for
+            // company that is already here.
+            served_flushes =
+                queue_.empty() ? flushes_ : flushes_ - 1;
+        }
+
+        // Serve with no queue lock held, so clients keep submitting
+        // (and the next micro-batch keeps filling) while this one
+        // runs.
+        std::vector<const std::string *> texts;
+        texts.reserve(batch.size());
+        for (const Pending &pending : batch)
+            texts.push_back(&pending.text);
+        std::vector<Outcome> outcomes;
+        try {
+            outcomes = serveBatch(texts);
+        } catch (...) {
+            // serveBatch captures per-request errors; anything that
+            // still escapes (allocation failure) fails the whole
+            // micro-batch rather than abandoning the futures.
+            for (Pending &pending : batch)
+                pending.promise.set_exception(
+                    std::current_exception());
+            continue;
+        }
+        for (size_t i = 0; i < batch.size(); ++i) {
+            if (outcomes[i].error)
+                batch[i].promise.set_exception(outcomes[i].error);
+            else
+                batch[i].promise.set_value(outcomes[i].value);
+        }
+    }
+}
+
+} // namespace difftune::serve

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Serving API v2: a thread-safe, asynchronously-batched prediction
+ * engine over one shared frozen WeightSnapshot.
+ *
+ * AsyncEngine is the serving core; the v1 serve::PredictionEngine
+ * survives as a thin synchronous wrapper over it (serve/engine.hh).
+ * Three things changed versus v1 (see docs/SERVING.md for the full
+ * contract and migration notes):
+ *
+ *  - **Shared frozen weights.** All W shard executors borrow one
+ *    nn::WeightSnapshot (weights, lazily-converted f32 panels,
+ *    input-projection tables, per-opcode parameter-input columns)
+ *    instead of holding per-shard copies, so per-engine weight
+ *    allocations no longer scale with the worker count — and
+ *    engines built from the same io::ModelSnapshot share too.
+ *
+ *  - **Thread safety.** Any number of client threads may call any
+ *    combination of submit / submitAll / predict / predictAll
+ *    concurrently. Caches are sharded-mutex LRUs, stats are atomic,
+ *    and the shard executors are serialized behind one batch mutex
+ *    (they parallelize internally over shards, as in v1).
+ *
+ *  - **Async micro-batched submission.** submit(text) returns a
+ *    std::future immediately; a dispatcher thread coalesces queued
+ *    requests from many clients into micro-batches of up to
+ *    maxBatch lanes (waiting at most maxWaitMicros for company), so
+ *    concurrent single-block clients get batched execution — the
+ *    amortization a DL-based simulator needs to win — without any
+ *    client-side batching.
+ *
+ * # Determinism contract (unchanged from v1)
+ *
+ * A prediction is a pure function of the canonical block text and
+ * the frozen checkpoint. Batching, arrival order, micro-batch
+ * composition, worker count, cache state and client thread count
+ * can therefore never change a result: in kF64 every answer is
+ * bit-identical to the sequential reference path, and kF32 answers
+ * are identical across all of the above (accuracy-gated < 1e-5
+ * against f64, never bit-gated).
+ *
+ * # Shutdown
+ *
+ * shutdown() (also run by the destructor) stops intake, drains the
+ * queue — every already-submitted future still completes — and
+ * joins the dispatcher. submit after shutdown throws.
+ */
+
+#ifndef DIFFTUNE_SERVE_ASYNC_ENGINE_HH
+#define DIFFTUNE_SERVE_ASYNC_ENGINE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/snapshot.hh"
+#include "serve/sharded_cache.hh"
+
+namespace difftune::serve
+{
+
+/** AsyncEngine tuning knobs. */
+struct AsyncConfig
+{
+    int workers = 0;             ///< shard count (<= 0: library default)
+    size_t cacheCapacity = 8192; ///< LRU entries (each cache)
+    /** Serving arithmetic (see nn/batched.hh; kF32 is opt-in). */
+    nn::Precision precision = nn::Precision::kF64;
+    /** Micro-batcher: max requests coalesced into one batch. */
+    size_t maxBatch = 64;
+    /**
+     * Micro-batcher: longest a queued request waits for company
+     * before being dispatched undersized. Only queued (submit /
+     * submitAll) requests pay this; the synchronous calls run
+     * inline.
+     */
+    int maxWaitMicros = 100;
+    /** Lock stripes per LRU cache (<= 0: library default). */
+    int cacheStripes = 0;
+};
+
+/**
+ * Monotonic serving counters. All atomic: any thread may read them
+ * at any time; a concurrent reader sees each counter individually
+ * consistent (sums across counters may be mid-update unless the
+ * engine is quiescent).
+ */
+struct ServeStats
+{
+    std::atomic<uint64_t> requests{0};   ///< predictions asked for
+    std::atomic<uint64_t> textHits{0};   ///< raw-text front-cache hits
+    std::atomic<uint64_t> textMisses{0}; ///< past the front cache
+    std::atomic<uint64_t> hits{0};       ///< answered from either LRU
+    std::atomic<uint64_t> misses{0};     ///< in no cache when served
+    std::atomic<uint64_t> forwards{0};   ///< LSTM forward passes run
+    std::atomic<uint64_t> batches{0};    ///< batches executed
+};
+
+/** Thread-safe micro-batching engine over one frozen snapshot. */
+class AsyncEngine
+{
+  public:
+    /**
+     * Serve @p artifact (from io::makeModelSnapshot /
+     * io::loadModelSnapshot; must carry a model, and — for a
+     * paramDim > 0 surrogate — the parameter table and sampling
+     * distribution). Binding several engines to one artifact shares
+     * its WeightSnapshot; construct them from one thread.
+     */
+    explicit AsyncEngine(io::ModelSnapshot artifact,
+                         AsyncConfig config = {});
+
+    /** Convenience: promote @p checkpoint, then serve it. */
+    explicit AsyncEngine(io::Checkpoint checkpoint,
+                         AsyncConfig config = {});
+
+    /**
+     * Load @p path once and serve it (errors name the path). The
+     * engine is immovable, so the factory hands back a unique_ptr;
+     * the v1 wrapper's fromFile delegates here.
+     */
+    static std::unique_ptr<AsyncEngine>
+    loadFromFile(const std::string &path, AsyncConfig config = {});
+
+    /** shutdown()s (draining pending requests) and joins. */
+    ~AsyncEngine();
+
+    AsyncEngine(const AsyncEngine &) = delete;
+    AsyncEngine &operator=(const AsyncEngine &) = delete;
+
+    // ---- Asynchronous API (micro-batched, any thread)
+
+    /**
+     * Queue one block for prediction; the future completes when its
+     * micro-batch executes (or immediately on a front-cache hit).
+     * Parse/validation errors surface through the future.
+     */
+    std::future<double> submit(std::string block_text);
+
+    /**
+     * Queue a group; futures align with @p block_texts. The whole
+     * group is enqueued atomically and flushes the micro-batcher
+     * (no coalescing delay), so a group behaves like v1 predictAll
+     * submitted from another thread.
+     */
+    std::vector<std::future<double>>
+    submitAll(std::vector<std::string> block_texts);
+
+    // ---- Synchronous API (inline, any thread)
+
+    /** Predict one block given in canonical assembly syntax. */
+    double predict(const std::string &block_text);
+
+    /** Predict a batch; results align with @p block_texts. */
+    std::vector<double>
+    predictAll(const std::vector<std::string> &block_texts);
+
+    /** Predict one already-parsed block (cached like predict()). */
+    double predictBlock(const isa::BasicBlock &block);
+
+    /**
+     * The uncached, unbatched reference path: parse + encode + one
+     * fresh double-precision graph per call. The ground truth every
+     * kF64 answer must match bit-exactly.
+     */
+    double predictUncached(const std::string &block_text) const;
+
+    // ---- Lifecycle
+
+    /**
+     * Stop intake, drain every queued request, join the dispatcher.
+     * Idempotent and safe to call from any thread (concurrent
+     * callers serialize; each returns only once the drain is
+     * complete); the destructor calls it too. Futures already
+     * handed out all complete before this returns.
+     */
+    void shutdown();
+
+    // ---- Introspection
+
+    const ServeStats &stats() const { return stats_; }
+    const surrogate::Model &model() const { return *artifact_.model; }
+    /** Learned parameter table (shared with the artifact; may be
+     *  null for an Ithemal-mode checkpoint). */
+    const std::shared_ptr<const params::ParamTable> &
+    table() const
+    {
+        return artifact_.table;
+    }
+    /** The frozen snapshot every shard of this engine borrows. */
+    const nn::WeightSnapshot &snapshot() const { return *snapshot_; }
+    std::shared_ptr<const nn::WeightSnapshot>
+    snapshotPtr() const
+    {
+        return snapshot_;
+    }
+    int workers() const { return workers_; }
+    nn::Precision precision() const { return precision_; }
+    const AsyncConfig &config() const { return config_; }
+
+    /**
+     * Bytes of weight-derived state this engine shares through its
+     * snapshot: the f32 panels and projection tables (one copy per
+     * *shard* before v2) plus the per-opcode input columns (one
+     * copy per *engine* before v2). Constant in workers() by
+     * construction, and shared further across engines built from
+     * one io::ModelSnapshot.
+     */
+    size_t
+    sharedWeightBytes() const
+    {
+        return snapshot_->sharedBytes();
+    }
+
+  private:
+    /** One queued request. */
+    struct Pending
+    {
+        std::string text;
+        std::promise<double> promise;
+    };
+
+    /** Per-request result of a served batch. */
+    struct Outcome
+    {
+        double value = 0.0;
+        std::exception_ptr error; ///< set iff the request failed
+    };
+
+    /** Blocks needing a forward pass within one batch. */
+    struct Miss
+    {
+        std::string key; ///< canonical text
+        isa::BasicBlock block;
+        double prediction = 0.0;
+        std::vector<uint32_t> outputs; ///< outcome slots to fill
+    };
+
+    /**
+     * requests accounting + raw-text front-cache probe, shared by
+     * every entry point. @return the cached value on a hit.
+     */
+    std::optional<double> frontProbe(const std::string &text);
+
+    /**
+     * Serve @p texts (which already missed the front cache):
+     * dedup, parse, canonical-cache probe, shard fan-out over the
+     * misses, cache publish. Takes batchMutex_. Outcomes align with
+     * @p texts; per-request errors land in Outcome::error.
+     */
+    std::vector<Outcome>
+    serveBatch(const std::vector<const std::string *> &texts);
+
+    /**
+     * Run misses [lo, hi) through shard @p shard's executor as one
+     * lane batch and fill their predictions. Caller holds
+     * batchMutex_ (shards parallelize under it via parallelShards).
+     */
+    void forwardMissBatch(int shard, std::vector<Miss> &misses,
+                          size_t lo, size_t hi);
+
+    /** Forward one encoded block on @p graph; returns exp(head). */
+    double forwardEncoded(nn::Graph &graph,
+                          const surrogate::EncodedBlock &encoded,
+                          const isa::BasicBlock &block) const;
+
+    /** The dispatcher thread: pop, coalesce, serve, fulfill. */
+    void dispatchLoop();
+
+    /** Start the dispatcher if needed; caller holds queueMutex_. */
+    void ensureDispatcherLocked();
+
+    io::ModelSnapshot artifact_;
+    std::shared_ptr<const nn::WeightSnapshot> snapshot_;
+    int workers_;
+    nn::Precision precision_;
+    AsyncConfig config_;
+
+    /** Per-shard executor + instruction-hidden memo (speed only). */
+    struct Shard
+    {
+        std::unique_ptr<nn::BatchedForward> batched;
+        surrogate::InstHiddenCache instCache;
+    };
+    std::vector<Shard> shards_;
+
+    /**
+     * Serializes batch execution (the shard executors and their
+     * instruction caches are single-batch state). Cache probes and
+     * the queue do not take this lock.
+     */
+    std::mutex batchMutex_;
+
+    /** Front cache keyed by the *raw* request text. */
+    ShardedLruCache<std::string, double> textCache_;
+    /** Main cache keyed by canonicalized block text. */
+    ShardedLruCache<std::string, double> cache_;
+    ServeStats stats_;
+
+    std::mutex queueMutex_;
+    std::condition_variable queueCv_;
+    std::deque<Pending> queue_;
+    uint64_t flushes_ = 0; ///< submitAll/shutdown flush generation
+    bool stopping_ = false;
+    /** Fast intake-closed check (set before stopping_ is taken). */
+    std::atomic<bool> stopped_{false};
+    /**
+     * The dispatcher starts lazily on the first queued request
+     * (guarded by queueMutex_), so engines used only through the
+     * synchronous API never own an idle thread.
+     */
+    bool dispatcherStarted_ = false;
+    /** Serializes shutdown(): exactly one caller joins. */
+    std::mutex shutdownMutex_;
+    std::thread dispatcher_;
+};
+
+} // namespace difftune::serve
+
+#endif // DIFFTUNE_SERVE_ASYNC_ENGINE_HH

@@ -1,264 +1,46 @@
 /**
  * @file
- * PredictionEngine implementation.
+ * PredictionEngine: v1 surface, v2 internals.
  */
 
 #include "serve/engine.hh"
 
-#include <cmath>
-#include <string_view>
-#include <unordered_map>
-#include <utility>
-
-#include "base/env.hh"
-#include "base/parallel.hh"
-#include "core/raw_table.hh"
-#include "isa/parse.hh"
-
 namespace difftune::serve
 {
 
+AsyncConfig
+PredictionEngine::toAsyncConfig(const ServeConfig &config)
+{
+    AsyncConfig async;
+    async.workers = config.workers;
+    async.cacheCapacity = config.cacheCapacity;
+    async.precision = config.precision;
+    return async;
+}
+
 PredictionEngine::PredictionEngine(io::Checkpoint checkpoint,
                                    ServeConfig config)
-    : model_(std::move(checkpoint.model)),
-      table_(std::move(checkpoint.table)),
-      workers_(config.workers > 0 ? config.workers : workerThreads()),
-      precision_(config.precision), textCache_(config.cacheCapacity),
-      cache_(config.cacheCapacity)
+    : engine_(std::make_unique<AsyncEngine>(std::move(checkpoint),
+                                            toAsyncConfig(config)))
 {
-    fatal_if(!model_, "checkpoint carries no model; nothing to serve");
-    fatal_if(checkpoint.vocabSize != isa::theVocab().size(),
-             "checkpoint vocabulary size {} does not match this "
-             "process's {}",
-             checkpoint.vocabSize, isa::theVocab().size());
+}
 
-    const int param_dim = model_->config().paramDim;
-    if (param_dim > 0) {
-        // A DiffTune surrogate needs its frozen inputs: the learned
-        // table and the sampling distribution whose widths normalize
-        // the table entries.
-        fatal_if(!table_, "surrogate checkpoint (paramDim {}) carries "
-                 "no parameter table",
-                 param_dim);
-        fatal_if(!checkpoint.dist,
-                 "surrogate checkpoint (paramDim {}) carries no "
-                 "sampling distribution",
-                 param_dim);
-        fatal_if(table_->numOpcodes() != isa::theIsa().numOpcodes(),
-                 "checkpoint table has {} opcodes, ISA has {}",
-                 table_->numOpcodes(), isa::theIsa().numOpcodes());
-        const core::ParamNormalizer norm(*checkpoint.dist);
-        fatal_if(norm.paramDim() != param_dim,
-                 "checkpoint sampling distribution implies paramDim "
-                 "{}, model expects {}",
-                 norm.paramDim(), param_dim);
-        // The table is frozen from here on, so each opcode's input
-        // column is a constant — precompute all of them once.
-        opcodeInputs_.reserve(table_->numOpcodes());
-        for (size_t op = 0; op < table_->numOpcodes(); ++op)
-            opcodeInputs_.push_back(core::opcodeParamInput(
-                *table_, isa::OpcodeId(op), norm));
-    }
-
-    // One batched executor and one instruction-hidden memo table
-    // per shard. In kF32 mode each weight conversion happens here —
-    // once per load, never on the request path.
-    batched_.reserve(size_t(workers_));
-    for (int shard = 0; shard < workers_; ++shard) {
-        batched_.push_back(std::make_unique<nn::BatchedForward>(
-            model_->params(), precision_));
-        instCaches_.emplace_back();
-    }
+PredictionEngine::PredictionEngine(io::ModelSnapshot artifact,
+                                   ServeConfig config)
+    : engine_(std::make_unique<AsyncEngine>(std::move(artifact),
+                                            toAsyncConfig(config)))
+{
 }
 
 PredictionEngine
 PredictionEngine::fromFile(const std::string &path, ServeConfig config)
 {
-    return PredictionEngine(io::loadCheckpoint(path), config);
-}
-
-double
-PredictionEngine::forwardEncoded(nn::Graph &graph,
-                                 const surrogate::EncodedBlock &encoded,
-                                 const isa::BasicBlock &block) const
-{
-    fatal_if(block.empty(), "cannot predict an empty block");
-    nn::Ctx ctx{graph, model_->params(), nullptr};
-    std::vector<nn::Var> inputs;
-    if (!opcodeInputs_.empty()) {
-        inputs.reserve(block.size());
-        for (const auto &inst : block.insts)
-            inputs.push_back(
-                graph.input(opcodeInputs_[size_t(inst.opcode)]));
-    }
-    nn::Var pred = graph.exp(model_->forward(ctx, encoded, inputs));
-    return graph.scalarValue(pred);
-}
-
-void
-PredictionEngine::forwardMissBatch(int shard,
-                                   std::vector<Miss> &misses,
-                                   size_t lo, size_t hi)
-{
-    nn::BatchedForward &bf = *batched_[size_t(shard)];
-    const size_t count = hi - lo;
-    std::vector<surrogate::EncodedBlock> encoded;
-    std::vector<const surrogate::EncodedBlock *> blocks;
-    std::vector<std::vector<const nn::Tensor *>> inst_params;
-    encoded.reserve(count);
-    blocks.reserve(count);
-    for (size_t m = lo; m < hi; ++m)
-        encoded.push_back(surrogate::encodeBlock(misses[m].block));
-    for (const auto &e : encoded)
-        blocks.push_back(&e);
-    if (!opcodeInputs_.empty()) {
-        inst_params.reserve(count);
-        for (size_t m = lo; m < hi; ++m) {
-            inst_params.emplace_back();
-            inst_params.back().reserve(misses[m].block.size());
-            for (const auto &inst : misses[m].block.insts)
-                inst_params.back().push_back(
-                    &opcodeInputs_[size_t(inst.opcode)]);
-        }
-    }
-    std::vector<double> heads;
-    model_->predictBatch(bf, blocks, inst_params, heads,
-                         &instCaches_[size_t(shard)]);
-    // Same expression as Graph::exp (the sequential path's final
-    // node), so the kF64 batched prediction is bit-identical to
-    // forwardEncoded's.
-    for (size_t m = lo; m < hi; ++m)
-        misses[m].prediction =
-            std::exp(std::min(heads[m - lo], 30.0));
-}
-
-double
-PredictionEngine::predict(const std::string &block_text)
-{
-    if (const double *hit = textCache_.get(block_text)) {
-        ++stats_.requests;
-        ++stats_.hits;
-        return *hit;
-    }
-    const double prediction =
-        predictBlock(isa::parseBlock(block_text));
-    textCache_.put(block_text, prediction);
-    return prediction;
-}
-
-double
-PredictionEngine::predictBlock(const isa::BasicBlock &block)
-{
-    ++stats_.requests;
-    fatal_if(block.empty(), "cannot predict an empty block");
-    std::string key = isa::toString(block);
-    if (const double *hit = cache_.get(key)) {
-        ++stats_.hits;
-        return *hit;
-    }
-    ++stats_.misses;
-    ++stats_.forwards;
-    // A batch of one on shard 0's executor: the cache must hold
-    // predictions from one execution mode only, whichever precision
-    // is being served.
-    std::vector<Miss> one(1);
-    one[0].block = block;
-    forwardMissBatch(0, one, 0, 1);
-    const double prediction = one[0].prediction;
-    cache_.put(std::move(key), prediction);
-    return prediction;
-}
-
-std::vector<double>
-PredictionEngine::predictAll(const std::vector<std::string> &block_texts)
-{
-    ++stats_.batches;
-    stats_.requests += block_texts.size();
-
-    std::vector<double> results(block_texts.size(), 0.0);
-    std::vector<Miss> misses;
-    std::vector<uint32_t> parsed; ///< indices that missed textCache_
-    /** In-batch raw-text dedup: first slot to parse each text. */
-    std::unordered_map<std::string_view, uint32_t> raw_first;
-    /** (duplicate slot, first slot) pairs resolved after publish. */
-    std::vector<std::pair<uint32_t, uint32_t>> raw_dups;
-    std::unordered_map<std::string, size_t> miss_index;
-
-    // Resolve the caches on the submit thread — the raw-text front
-    // cache first (repeat traffic skips parsing entirely, including
-    // exact repeats within this batch), then the canonical cache;
-    // only genuinely new canonical blocks (deduplicated within the
-    // batch) fan out. Input validation must also happen here — a
-    // fatal() thrown inside a worker-pool shard would escape the
-    // pool thread uncaught.
-    for (size_t i = 0; i < block_texts.size(); ++i) {
-        if (const double *hit = textCache_.get(block_texts[i])) {
-            ++stats_.hits;
-            results[i] = *hit;
-            continue;
-        }
-        auto [first, fresh] =
-            raw_first.try_emplace(block_texts[i], uint32_t(i));
-        if (!fresh) {
-            // An exact repeat within this batch: skip the parse but
-            // count it as a miss — it was not in any cache at submit
-            // time (ServeStats::hits means answered from the LRU).
-            ++stats_.misses;
-            raw_dups.emplace_back(uint32_t(i), first->second);
-            continue;
-        }
-        parsed.push_back(uint32_t(i));
-        isa::BasicBlock block = isa::parseBlock(block_texts[i]);
-        fatal_if(block.empty(),
-                 "cannot predict an empty block (batch index {})", i);
-        std::string key = isa::toString(block);
-        if (const double *hit = cache_.get(key)) {
-            ++stats_.hits;
-            results[i] = *hit;
-            continue;
-        }
-        ++stats_.misses;
-        auto it = miss_index.find(key);
-        if (it == miss_index.end()) {
-            it = miss_index.emplace(key, misses.size()).first;
-            misses.push_back(Miss{std::move(key), std::move(block),
-                                  0.0, {}});
-        }
-        misses[it->second].outputs.push_back(uint32_t(i));
-    }
-
-    stats_.forwards += misses.size();
-
-    // One batched executor per shard: the shard's misses run as one
-    // lane batch (shared weight reads, lockstep steps, instruction
-    // dedup). The shard partition is a pure function of (count,
-    // workers), and each lane's arithmetic is independent, so
-    // results do not depend on the worker count or the batch
-    // composition.
-    parallelShards(misses.size(), workers_,
-                   [&](size_t lo, size_t hi, int shard) {
-                       forwardMissBatch(shard, misses, lo, hi);
-                   });
-
-    // Publish in deterministic (batch) order.
-    for (Miss &miss : misses) {
-        for (uint32_t slot : miss.outputs)
-            results[slot] = miss.prediction;
-        cache_.put(std::move(miss.key), miss.prediction);
-    }
-    for (auto [dup, first] : raw_dups)
-        results[dup] = results[first];
-    for (uint32_t i : parsed)
-        textCache_.put(block_texts[i], results[i]);
-    return results;
-}
-
-double
-PredictionEngine::predictUncached(const std::string &block_text) const
-{
-    const isa::BasicBlock block = isa::parseBlock(block_text);
-    nn::Graph graph;
-    return forwardEncoded(graph, surrogate::encodeBlock(block), block);
+    // One shared load-and-wrap path (path-naming errors included):
+    // AsyncEngine::loadFromFile.
+    PredictionEngine engine;
+    engine.engine_ =
+        AsyncEngine::loadFromFile(path, toAsyncConfig(config));
+    return engine;
 }
 
 } // namespace difftune::serve

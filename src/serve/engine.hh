@@ -1,77 +1,51 @@
 /**
  * @file
- * Batched prediction serving on top of a loaded checkpoint.
+ * The v1 synchronous serving API, now a thin wrapper over
+ * serve::AsyncEngine (serving API v2 — see serve/async_engine.hh
+ * and docs/SERVING.md).
  *
- * A PredictionEngine owns a trained model (plus, for a DiffTune
- * surrogate, the learned parameter table and the sampling
- * distribution's input normalizer), loads it once, and then answers
- * block-timing queries at throughput. Three mechanisms make the hot
- * path cheap:
+ * PredictionEngine keeps its original surface — predict /
+ * predictAll / predictBlock / predictUncached, ServeConfig,
+ * ServeStats — but every call delegates to an owned AsyncEngine's
+ * synchronous path, so v1 callers transparently gain the v2
+ * internals: one frozen nn::WeightSnapshot shared by all shard
+ * executors (per-engine weight allocations no longer scale with the
+ * worker count), sharded-mutex LRU caches, and atomic counters.
+ * Unlike v1, the wrapper is also thread-safe — "synchronous and
+ * single-caller" is no longer a restriction, just a usage style.
+ * Two signatures shifted with the internals (see docs/SERVING.md):
+ * ServeStats counters are std::atomic now, and table() hands back
+ * the artifact's shared_ptr<const ParamTable> instead of an
+ * optional (null when absent).
  *
- *  - an LRU cache keyed by canonicalized block text memoizes full
- *    predictions — for a frozen model the prediction is a pure
- *    function of the canonical block, so repeat traffic costs a hash
- *    lookup instead of an LSTM forward pass;
- *  - per-instruction parameter-input tensors depend only on the
- *    opcode once the table is frozen, so they are precomputed per
- *    opcode at load time instead of per request;
- *  - batched requests map over base/parallel shards, and each shard
- *    runs its blocks through one nn::BatchedForward executor —
- *    shared weight reads, lockstep LSTM steps, no per-block tape
- *    (see nn/batched.hh). Single-block misses take the same
- *    executor as a batch of one, so every cached prediction comes
- *    from one execution mode.
+ * Determinism contract (unchanged): a prediction is a pure function
+ * of the canonical block text and the frozen checkpoint. kF64 is
+ * bit-identical to the uncached reference; kF32 is accuracy-gated
+ * < 1e-5 (see nn/batched.hh). Results never depend on batching,
+ * order, worker count or cache state.
  *
- * Predictions follow the training-time convention: timing =
- * exp(model head), exactly as core/ithemal and core/difftune evaluate
- * the model, so a served prediction is bit-identical to the in-process
- * prediction of the checkpointed model. Batched and sequential
- * submission, and any worker count, produce identical results.
- *
- * ServeConfig::precision selects the serving arithmetic:
- * nn::Precision::kF64 (the default) is bit-identical to the graph
- * engine; kF32 converts the weights to float once at load and runs
- * the batched kernels in single precision — faster, and gated to
- * < 1e-5 relative error against the double path (never bit-exact;
- * see docs/BENCHMARKS.md and tests/test_serve.cc). predictUncached
- * always stays the double-precision graph reference.
- *
- * The public API is synchronous and single-caller; concurrency lives
- * inside predictAll's shard fan-out.
+ * Migration: new code should construct AsyncEngine directly (it
+ * adds submit/submitAll futures and the micro-batcher). Existing
+ * code needs no changes. ServeConfig maps 1:1 onto the matching
+ * AsyncConfig fields; access the wrapped engine through async() for
+ * the v2-only calls.
  */
 
 #ifndef DIFFTUNE_SERVE_ENGINE_HH
 #define DIFFTUNE_SERVE_ENGINE_HH
 
-#include <memory>
-#include <optional>
-#include <string>
-#include <vector>
-
-#include "io/checkpoint.hh"
-#include "nn/batched.hh"
-#include "serve/lru_cache.hh"
+#include "serve/async_engine.hh"
 
 namespace difftune::serve
 {
 
-/** Engine tuning knobs. */
+/** v1 engine tuning knobs (a subset of AsyncConfig). */
 struct ServeConfig
 {
     int workers = 0;             ///< shard count (<= 0: library default)
-    size_t cacheCapacity = 8192; ///< LRU entries (canonical blocks)
-    /** Serving arithmetic (see the file comment; kF32 is opt-in). */
+    size_t cacheCapacity = 8192; ///< LRU entries (each cache)
+    /** Serving arithmetic (see nn/batched.hh; kF32 is opt-in). */
     nn::Precision precision = nn::Precision::kF64;
-};
-
-/** Monotonic serving counters. */
-struct ServeStats
-{
-    uint64_t requests = 0; ///< blocks submitted
-    uint64_t hits = 0;     ///< answered from the LRU cache
-    uint64_t misses = 0;   ///< not in the cache at submit time
-    uint64_t forwards = 0; ///< LSTM forward passes actually run
-    uint64_t batches = 0;  ///< predictAll calls
 };
 
 /** Loads a checkpoint once; serves block-timing queries. */
@@ -86,82 +60,65 @@ class PredictionEngine
     explicit PredictionEngine(io::Checkpoint checkpoint,
                               ServeConfig config = {});
 
-    /** Load @p path and serve it. */
+    /** Serve an already-promoted artifact (shares its snapshot). */
+    explicit PredictionEngine(io::ModelSnapshot artifact,
+                              ServeConfig config = {});
+
+    /** Load @p path and serve it (errors name the path). */
     static PredictionEngine fromFile(const std::string &path,
                                      ServeConfig config = {});
 
     /** Predict one block given in canonical assembly syntax. */
-    double predict(const std::string &block_text);
+    double
+    predict(const std::string &block_text)
+    {
+        return engine_->predict(block_text);
+    }
 
     /** Predict a batch; results align with @p block_texts. */
     std::vector<double>
-    predictAll(const std::vector<std::string> &block_texts);
+    predictAll(const std::vector<std::string> &block_texts)
+    {
+        return engine_->predictAll(block_texts);
+    }
 
     /** Predict one already-parsed block (cached like predict()). */
-    double predictBlock(const isa::BasicBlock &block);
+    double
+    predictBlock(const isa::BasicBlock &block)
+    {
+        return engine_->predictBlock(block);
+    }
 
     /**
      * The uncached, unbatched reference path: parse + encode + one
      * fresh graph per call. Serves as the bench baseline and as the
      * ground truth the cached path must match bit-exactly.
      */
-    double predictUncached(const std::string &block_text) const;
-
-    const ServeStats &stats() const { return stats_; }
-    const surrogate::Model &model() const { return *model_; }
-    const std::optional<params::ParamTable> &table() const
+    double
+    predictUncached(const std::string &block_text) const
     {
-        return table_;
+        return engine_->predictUncached(block_text);
     }
-    int workers() const { return workers_; }
-    nn::Precision precision() const { return precision_; }
+
+    const ServeStats &stats() const { return engine_->stats(); }
+    const surrogate::Model &model() const { return engine_->model(); }
+    const std::shared_ptr<const params::ParamTable> &table() const
+    {
+        return engine_->table();
+    }
+    int workers() const { return engine_->workers(); }
+    nn::Precision precision() const { return engine_->precision(); }
+
+    /** The wrapped v2 engine (submit/submitAll, snapshot, knobs). */
+    AsyncEngine &async() { return *engine_; }
+    const AsyncEngine &async() const { return *engine_; }
 
   private:
-    /** Forward one encoded block on @p graph; returns exp(head). */
-    double forwardEncoded(nn::Graph &graph,
-                          const surrogate::EncodedBlock &encoded,
-                          const isa::BasicBlock &block) const;
+    PredictionEngine() = default; ///< fromFile assembly only
 
-    /** Blocks needing a forward pass within one batch. */
-    struct Miss
-    {
-        std::string key; ///< canonical text
-        isa::BasicBlock block;
-        double prediction = 0.0;
-        std::vector<uint32_t> outputs; ///< result slots to fill
-    };
+    static AsyncConfig toAsyncConfig(const ServeConfig &config);
 
-    /**
-     * Run misses [lo, hi) through shard @p shard's executor as one
-     * batch and fill their predictions (exp of the batched head
-     * outputs).
-     */
-    void forwardMissBatch(int shard, std::vector<Miss> &misses,
-                          size_t lo, size_t hi);
-
-    std::unique_ptr<surrogate::Model> model_;
-    std::optional<params::ParamTable> table_;
-    /** Per-opcode parameter-input column, precomputed at load. */
-    std::vector<nn::Tensor> opcodeInputs_;
-
-    int workers_;
-    nn::Precision precision_;
-    /** One batched executor per shard (weights converted at load). */
-    std::vector<std::unique_ptr<nn::BatchedForward>> batched_;
-    /**
-     * One instruction-hidden memo table per shard (weights are
-     * frozen, so token-level hiddens are reusable across batches;
-     * caches affect speed only, never results).
-     */
-    std::vector<surrogate::InstHiddenCache> instCaches_;
-    /**
-     * Front cache keyed by the *raw* request text: repeat traffic
-     * skips parsing and canonicalization entirely. Distinct raw
-     * texts of one canonical block still meet in cache_.
-     */
-    LruCache<std::string, double> textCache_;
-    LruCache<std::string, double> cache_;
-    ServeStats stats_;
+    std::unique_ptr<AsyncEngine> engine_;
 };
 
 } // namespace difftune::serve

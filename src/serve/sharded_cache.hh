@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Thread-safe sharded-mutex wrapper over LruCache.
+ *
+ * One global cache lock would serialize every request of a
+ * concurrent serving engine on a single mutex; instead the key space
+ * is striped over S independent LruCaches, each behind its own
+ * mutex, so concurrent clients only contend when their keys land in
+ * the same stripe. get() returns the value by copy — a pointer into
+ * a stripe would dangle the moment another thread touched it.
+ *
+ * Striping changes *eviction* behavior versus one big LRU (each
+ * stripe evicts independently), which by the serving engine's
+ * determinism contract may only affect speed: predictions are pure
+ * per canonical block, so a cache can never change results, only
+ * whether a forward pass is re-run.
+ */
+
+#ifndef DIFFTUNE_SERVE_SHARDED_CACHE_HH
+#define DIFFTUNE_SERVE_SHARDED_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "serve/lru_cache.hh"
+
+namespace difftune::serve
+{
+
+template <typename Key, typename Value>
+class ShardedLruCache
+{
+  public:
+    /**
+     * @param capacity total entry budget, split evenly (rounded up)
+     *        across stripes
+     * @param stripes lock stripe count (>= 1)
+     */
+    ShardedLruCache(size_t capacity, int stripes)
+    {
+        panic_if(stripes < 1, "ShardedLruCache: {} stripes", stripes);
+        panic_if(capacity == 0,
+                 "ShardedLruCache: capacity must be positive");
+        const size_t per_stripe =
+            (capacity + size_t(stripes) - 1) / size_t(stripes);
+        stripes_.reserve(size_t(stripes));
+        for (int i = 0; i < stripes; ++i)
+            stripes_.push_back(std::make_unique<Stripe>(per_stripe));
+    }
+
+    /** Thread-safe lookup; a hit refreshes recency in its stripe. */
+    std::optional<Value>
+    get(const Key &key)
+    {
+        Stripe &stripe = stripeFor(key);
+        std::lock_guard lock(stripe.mutex);
+        if (const Value *hit = stripe.cache.get(key))
+            return *hit;
+        return std::nullopt;
+    }
+
+    /** Thread-safe insert/refresh. */
+    void
+    put(Key key, Value value)
+    {
+        Stripe &stripe = stripeFor(key);
+        std::lock_guard lock(stripe.mutex);
+        stripe.cache.put(std::move(key), std::move(value));
+    }
+
+    /** Entries across all stripes (locks each in turn). */
+    size_t
+    size() const
+    {
+        size_t total = 0;
+        for (const auto &stripe : stripes_) {
+            std::lock_guard lock(stripe->mutex);
+            total += stripe->cache.size();
+        }
+        return total;
+    }
+
+    size_t
+    capacity() const
+    {
+        return stripes_.size() * stripes_.front()->cache.capacity();
+    }
+
+    int numStripes() const { return int(stripes_.size()); }
+
+  private:
+    struct Stripe
+    {
+        explicit Stripe(size_t capacity) : cache(capacity) {}
+
+        mutable std::mutex mutex;
+        LruCache<Key, Value> cache;
+    };
+
+    Stripe &
+    stripeFor(const Key &key)
+    {
+        // Finalize the hash (splitmix64) before reducing: the
+        // stripe index must not correlate with the bits the
+        // per-stripe unordered_map reduces the same hash by.
+        uint64_t mix = uint64_t(hash_(key));
+        mix ^= mix >> 30;
+        mix *= 0xbf58476d1ce4e5b9ULL;
+        mix ^= mix >> 27;
+        return *stripes_[size_t(mix % stripes_.size())];
+    }
+
+    std::vector<std::unique_ptr<Stripe>> stripes_;
+    std::hash<Key> hash_;
+};
+
+} // namespace difftune::serve
+
+#endif // DIFFTUNE_SERVE_SHARDED_CACHE_HH

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 
 namespace difftune::serve
 {
@@ -102,6 +103,100 @@ compareThroughput(PredictionEngine &engine,
 {
     return engineVsNaive(engine, workload,
                          runNaive(engine, workload), wave, rel_tol);
+}
+
+namespace
+{
+
+void
+checkAgainstReference(const NaiveRun *reference, size_t index,
+                      double got)
+{
+    if (!reference)
+        return;
+    fatal_if(got != reference->predictions[index],
+             "async and naive predictions diverged at request {} "
+             "({} vs {})",
+             index, got, reference->predictions[index]);
+}
+
+} // namespace
+
+AsyncClientComparison
+compareAsyncClients(const io::ModelSnapshot &artifact,
+                    const std::vector<std::string> &workload,
+                    int threads, const NaiveRun *reference,
+                    const AsyncConfig &config)
+{
+    panic_if(threads < 1, "compareAsyncClients: {} threads", threads);
+    panic_if(reference &&
+                 reference->predictions.size() != workload.size(),
+             "compareAsyncClients: reference has {} predictions for "
+             "{} requests",
+             reference->predictions.size(), workload.size());
+    AsyncClientComparison result;
+    result.threads = threads;
+
+    // Single-caller baseline: one thread, one block at a time
+    // through the synchronous path — the v1 usage style.
+    {
+        AsyncEngine engine(artifact, config);
+        const auto begin = std::chrono::steady_clock::now();
+        for (size_t i = 0; i < workload.size(); ++i)
+            checkAgainstReference(reference, i,
+                                  engine.predict(workload[i]));
+        result.singleSeconds =
+            secondsBetween(begin, std::chrono::steady_clock::now());
+    }
+
+    // Concurrent clients: thread t owns requests t, t + threads,
+    // t + 2*threads, ... and blocks on each future before its next
+    // submit, so at most `threads` requests are in flight — the
+    // micro-batcher's coalescing is all that turns them into
+    // batches.
+    AsyncEngine engine(artifact, config);
+    std::vector<double> served(workload.size(), 0.0);
+    std::vector<std::vector<double>> latencies{size_t(threads)};
+    const auto begin = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(size_t(threads));
+    for (int t = 0; t < threads; ++t) {
+        clients.emplace_back([&, t] {
+            auto &lat = latencies[size_t(t)];
+            for (size_t i = size_t(t); i < workload.size();
+                 i += size_t(threads)) {
+                const auto t0 = std::chrono::steady_clock::now();
+                std::future<double> future =
+                    engine.submit(workload[i]);
+                served[i] = future.get();
+                lat.push_back(secondsBetween(
+                    t0, std::chrono::steady_clock::now()));
+            }
+        });
+    }
+    for (std::thread &client : clients)
+        client.join();
+    result.asyncSeconds =
+        secondsBetween(begin, std::chrono::steady_clock::now());
+
+    for (size_t i = 0; i < workload.size(); ++i)
+        checkAgainstReference(reference, i, served[i]);
+
+    std::vector<double> all;
+    for (const auto &lat : latencies)
+        all.insert(all.end(), lat.begin(), lat.end());
+    std::sort(all.begin(), all.end());
+    auto percentile = [&](double p) {
+        if (all.empty())
+            return 0.0;
+        const size_t at = std::min(
+            all.size() - 1, size_t(p * double(all.size() - 1)));
+        return all[at];
+    };
+    result.latency.p50 = percentile(0.50);
+    result.latency.p95 = percentile(0.95);
+    result.latency.p99 = percentile(0.99);
+    return result;
 }
 
 } // namespace difftune::serve

@@ -81,6 +81,49 @@ compareThroughput(PredictionEngine &engine,
                   const std::vector<std::string> &workload,
                   size_t wave = 250, double rel_tol = 0.0);
 
+/** Request-latency percentiles of an async client run (seconds). */
+struct LatencyStats
+{
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/**
+ * Results of compareAsyncClients: a single-caller synchronous pass
+ * versus @p threads concurrent client threads submitting through
+ * the AsyncEngine micro-batcher. Both passes serve the full
+ * workload on a fresh engine (cold caches).
+ */
+struct AsyncClientComparison
+{
+    double singleSeconds = 0.0; ///< 1 thread, sync predict/request
+    double asyncSeconds = 0.0;  ///< threads x async submit + get
+    int threads = 0;
+    LatencyStats latency; ///< async per-request submit-to-get time
+
+    /** Aggregate multi-client speedup over single-caller. */
+    double speedup() const { return singleSeconds / asyncSeconds; }
+};
+
+/**
+ * Measure what the micro-batcher buys concurrent traffic: one
+ * client thread calling the synchronous path block-at-a-time versus
+ * @p threads client threads each submitting its interleaved share
+ * of @p workload through AsyncEngine::submit and blocking on the
+ * future (at most @p threads requests in flight, as with real
+ * users). Each pass runs on a fresh engine built from @p artifact —
+ * the engines share @p artifact's WeightSnapshot, so the comparison
+ * also exercises cross-engine weight sharing. When @p reference is
+ * non-null every prediction of both passes is checked bit-exact
+ * against it (the kF64 contract; pass null for kF32).
+ */
+AsyncClientComparison
+compareAsyncClients(const io::ModelSnapshot &artifact,
+                    const std::vector<std::string> &workload,
+                    int threads, const NaiveRun *reference,
+                    const AsyncConfig &config = {});
+
 } // namespace difftune::serve
 
 #endif // DIFFTUNE_SERVE_WORKLOAD_HH

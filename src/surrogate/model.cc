@@ -180,4 +180,13 @@ encodeBlock(const isa::BasicBlock &block)
     return isa::theVocab().encode(block);
 }
 
+std::shared_ptr<nn::WeightSnapshot>
+makeWeightSnapshot(std::shared_ptr<const Model> model)
+{
+    panic_if(!model, "makeWeightSnapshot: null model");
+    const nn::ParamSet &params = model->params();
+    return std::make_shared<nn::WeightSnapshot>(params,
+                                                std::move(model));
+}
+
 } // namespace difftune::surrogate

@@ -163,6 +163,18 @@ class Model
 /** Encode a block with the shared vocabulary. */
 EncodedBlock encodeBlock(const isa::BasicBlock &block);
 
+/**
+ * Freeze @p model's weights into a shareable nn::WeightSnapshot
+ * that keeps the model alive (the snapshot borrows the ParamSet
+ * storage in place and holds the model as its owner). Every
+ * nn::BatchedForward bound to the snapshot — across any number of
+ * serving shards or engines — shares one copy of the derived f32
+ * panels and input-projection tables. The model must not be trained
+ * further while the snapshot exists.
+ */
+std::shared_ptr<nn::WeightSnapshot>
+makeWeightSnapshot(std::shared_ptr<const Model> model);
+
 } // namespace difftune::surrogate
 
 #endif // DIFFTUNE_SURROGATE_MODEL_HH

@@ -14,6 +14,7 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <sstream>
 
 #include "io/checkpoint.hh"
 #include "isa/parse.hh"
@@ -450,6 +451,71 @@ TEST(Checkpoint, MissingFileRejected)
 {
     EXPECT_THROW(loadCheckpoint("/nonexistent/difftune.ckpt"),
                  std::runtime_error);
+    // And the message names the path the caller passed.
+    try {
+        loadCheckpoint("/nonexistent/difftune.ckpt");
+        FAIL() << "expected a load failure";
+    } catch (const std::runtime_error &error) {
+        EXPECT_NE(std::string(error.what())
+                      .find("/nonexistent/difftune.ckpt"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(Checkpoint, StructuralErrorsNameThePathAndChunk)
+{
+    // Corrupt one payload byte of a saved file: the CRC failure must
+    // name both the offending file and the chunk it hit, so a bad
+    // artifact in a fleet of checkpoints is identifiable from the
+    // message alone.
+    surrogate::ModelConfig cfg;
+    surrogate::Model model(cfg, isa::theVocab().size());
+    TempFile file("named_errors.ckpt");
+    saveCheckpoint(file.path(), &model, nullptr, nullptr);
+
+    std::string bytes;
+    {
+        std::ifstream in(file.path(), std::ios::binary);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        bytes = std::move(buffer).str();
+    }
+    bytes[bytes.size() - 10] ^= 0x01; // inside the last (WTS0) chunk
+    {
+        std::ofstream out(file.path(),
+                          std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), std::streamsize(bytes.size()));
+    }
+    try {
+        loadCheckpoint(file.path());
+        FAIL() << "expected a CRC failure";
+    } catch (const std::runtime_error &error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find(file.path()), std::string::npos) << what;
+        EXPECT_NE(what.find(tagModelWeights), std::string::npos)
+            << what;
+    }
+}
+
+TEST(Checkpoint, SectionDecodeErrorsNameThePathAndChunk)
+{
+    // A chunk whose CRC is fine but whose payload does not decode
+    // (here: a truncated sampling-dist section) must also be tagged
+    // with the file and the chunk name.
+    ChunkWriter writer;
+    writer.add(tagSamplingDist, "garbage");
+    TempFile file("bad_dist.ckpt");
+    writer.writeFile(file.path());
+    try {
+        loadCheckpoint(file.path());
+        FAIL() << "expected a decode failure";
+    } catch (const std::runtime_error &error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find(file.path()), std::string::npos) << what;
+        EXPECT_NE(what.find(tagSamplingDist), std::string::npos)
+            << what;
+    }
 }
 
 TEST(Checkpoint, OversizedConfigDimensionsRejected)

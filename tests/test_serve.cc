@@ -6,7 +6,10 @@
  * larger than the shard working set, ragged block lengths crossing
  * the lockstep masking path), invariance to the worker count,
  * surrogate-mode input handling, the f32 serving mode and its
- * checkpoint round trip, and checkpoint validation at load.
+ * checkpoint round trip, checkpoint validation at load, and
+ * path-naming load errors. The engine under test is the v1
+ * synchronous wrapper over serve::AsyncEngine; the v2 concurrency
+ * surface is covered by tests/test_serve_async.cc.
  */
 
 #include <gtest/gtest.h>
@@ -89,11 +92,17 @@ TEST(Engine, CacheHitBehavior)
     EXPECT_EQ(engine.stats().requests, 1u);
     EXPECT_EQ(engine.stats().misses, 1u);
     EXPECT_EQ(engine.stats().hits, 0u);
+    EXPECT_EQ(engine.stats().textMisses, 1u);
+    EXPECT_EQ(engine.stats().textHits, 0u);
 
     const double second = engine.predict(text);
     EXPECT_EQ(engine.stats().requests, 2u);
     EXPECT_EQ(engine.stats().misses, 1u);
     EXPECT_EQ(engine.stats().hits, 1u);
+    // The repeat was answered by the raw-text front cache, and the
+    // front cache has its own counters now.
+    EXPECT_EQ(engine.stats().textHits, 1u);
+    EXPECT_EQ(engine.stats().textMisses, 1u);
     EXPECT_TRUE(sameBits(first, second));
 }
 
@@ -106,6 +115,10 @@ TEST(Engine, CacheKeyIsCanonicalized)
     engine.predict("# hot loop\n\nADD32rr %ebx, %ecx\n\nNOP\n");
     EXPECT_EQ(engine.stats().hits, 1u);
     EXPECT_EQ(engine.stats().misses, 1u);
+    // Distinct raw texts: the hit came from the canonical cache,
+    // past the raw-text front cache.
+    EXPECT_EQ(engine.stats().textHits, 0u);
+    EXPECT_EQ(engine.stats().textMisses, 2u);
 }
 
 TEST(Engine, BatchedEqualsSequential)
@@ -376,6 +389,39 @@ TEST(Engine, RejectsSurrogateWithoutDist)
     ckpt.dist.reset();
     EXPECT_THROW(PredictionEngine{std::move(ckpt)},
                  std::runtime_error);
+}
+
+TEST(Engine, FromFileErrorsNameTheOffendingPath)
+{
+    // A missing file names the path...
+    try {
+        PredictionEngine::fromFile("/nonexistent/missing.ckpt");
+        FAIL() << "expected a load failure";
+    } catch (const std::runtime_error &error) {
+        EXPECT_NE(std::string(error.what())
+                      .find("/nonexistent/missing.ckpt"),
+                  std::string::npos)
+            << error.what();
+    }
+    // ...and so does a file that loads but cannot be served (a
+    // surrogate-shaped model saved without its parameter table).
+    io::Checkpoint ckpt = surrogateCheckpoint();
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "difftune_serve_no_table.ckpt")
+            .string();
+    io::saveCheckpoint(path, ckpt.model.get(), nullptr, nullptr);
+    try {
+        PredictionEngine::fromFile(path);
+        std::remove(path.c_str());
+        FAIL() << "expected a validation failure";
+    } catch (const std::runtime_error &error) {
+        std::remove(path.c_str());
+        const std::string what = error.what();
+        EXPECT_NE(what.find(path), std::string::npos) << what;
+        EXPECT_NE(what.find("parameter table"), std::string::npos)
+            << what;
+    }
 }
 
 TEST(Engine, RejectsVocabMismatch)

@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Tests for serving API v2 (serve::AsyncEngine): snapshot sharing
+ * across shards and engines (per-engine weight allocations must not
+ * scale with the worker count), bit-equality of concurrent
+ * submission with the sequential reference across thread counts and
+ * random interleavings, micro-batcher behavior (submitAll groups,
+ * coalescing), shutdown draining, error propagation through
+ * futures, atomic-stats reconciliation, and the sharded LRU cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <future>
+#include <thread>
+#include <unordered_set>
+
+#include "base/random.hh"
+#include "bhive/corpus.hh"
+#include "core/raw_table.hh"
+#include "hw/default_table.hh"
+#include "isa/parse.hh"
+#include "serve/engine.hh"
+
+namespace difftune::serve
+{
+namespace
+{
+
+surrogate::ModelConfig
+tinyConfig(int param_dim)
+{
+    surrogate::ModelConfig cfg;
+    cfg.embedDim = 8;
+    cfg.hidden = 10;
+    cfg.tokenLayers = 1;
+    cfg.blockLayers = 1;
+    cfg.paramDim = param_dim;
+    cfg.seed = 5;
+    return cfg;
+}
+
+io::Checkpoint
+ithemalCheckpoint()
+{
+    io::Checkpoint ckpt;
+    ckpt.model = std::make_unique<surrogate::Model>(
+        tinyConfig(0), isa::theVocab().size());
+    ckpt.vocabSize = isa::theVocab().size();
+    return ckpt;
+}
+
+io::Checkpoint
+surrogateCheckpoint()
+{
+    const params::SamplingDist dist = params::SamplingDist::full();
+    const core::ParamNormalizer norm(dist);
+    io::Checkpoint ckpt;
+    ckpt.model = std::make_unique<surrogate::Model>(
+        tinyConfig(norm.paramDim()), isa::theVocab().size());
+    ckpt.vocabSize = isa::theVocab().size();
+    ckpt.dist = dist;
+    ckpt.table = hw::defaultTable(hw::Uarch::Haswell);
+    return ckpt;
+}
+
+bool
+sameBits(double a, double b)
+{
+    return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+/** Canonical texts of a generated corpus. */
+std::vector<std::string>
+corpusTexts(size_t count, uint64_t seed)
+{
+    const auto corpus = bhive::Corpus::generate(count, seed);
+    std::vector<std::string> texts;
+    texts.reserve(corpus.size());
+    for (size_t i = 0; i < corpus.size(); ++i)
+        texts.push_back(isa::toString(corpus[i].block));
+    return texts;
+}
+
+TEST(AsyncEngine, SnapshotSharedByAllShards)
+{
+    AsyncConfig cfg;
+    cfg.workers = 4;
+    AsyncEngine engine(surrogateCheckpoint(), cfg);
+    // All shard executors borrow one snapshot: the shared_ptr is
+    // referenced by the engine itself plus one per shard, and no
+    // shard holds a private copy of any derived table.
+    EXPECT_GE(engine.snapshotPtr().use_count(), 1 + engine.workers());
+}
+
+TEST(AsyncEngine, WeightAllocationsDoNotScaleWithWorkers)
+{
+    // The acceptance assertion for snapshot sharing: serve the same
+    // workload with 1 and with 4 workers in f32 (the mode that
+    // copies weights at all) and require identical derived-weight
+    // residency — pre-v2, 4 workers meant 4 f32 panels and 4
+    // projection-table sets.
+    const auto texts = corpusTexts(24, 0xa57c);
+    size_t bytes[2] = {0, 0};
+    const int workers[2] = {1, 4};
+    for (int i = 0; i < 2; ++i) {
+        AsyncConfig cfg;
+        cfg.workers = workers[i];
+        cfg.precision = nn::Precision::kF32;
+        AsyncEngine engine(surrogateCheckpoint(), cfg);
+        engine.predictAll(texts); // materialize panels + projections
+        bytes[i] = engine.sharedWeightBytes();
+        EXPECT_GT(bytes[i], 0u);
+    }
+    EXPECT_EQ(bytes[0], bytes[1]);
+}
+
+TEST(AsyncEngine, EnginesShareOneArtifactSnapshot)
+{
+    io::ModelSnapshot artifact =
+        io::makeModelSnapshot(surrogateCheckpoint());
+    AsyncEngine a(artifact);
+    AsyncEngine b(artifact);
+    EXPECT_EQ(&a.snapshot(), &b.snapshot());
+    // And the shared snapshot serves both engines bit-identically.
+    const auto texts = corpusTexts(8, 0x11);
+    for (const auto &text : texts)
+        EXPECT_TRUE(sameBits(a.predict(text), b.predict(text)));
+}
+
+TEST(AsyncEngine, SubmitMatchesSequentialReference)
+{
+    AsyncEngine engine(ithemalCheckpoint());
+    PredictionEngine reference(ithemalCheckpoint());
+    const auto texts = corpusTexts(16, 0x22);
+    for (const auto &text : texts) {
+        std::future<double> future = engine.submit(text);
+        EXPECT_TRUE(sameBits(future.get(), reference.predict(text)));
+    }
+}
+
+TEST(AsyncEngine, ConcurrentInterleavedSubmissionIsBitExact)
+{
+    // N client threads, each submitting the whole workload in its
+    // own random order, against a sequential reference: every
+    // result must be bit-identical regardless of thread count,
+    // arrival order or how the micro-batcher slices the stream.
+    const auto texts = corpusTexts(32, 0x33);
+    PredictionEngine reference(surrogateCheckpoint());
+    std::vector<double> expected;
+    expected.reserve(texts.size());
+    for (const auto &text : texts)
+        expected.push_back(reference.predict(text));
+
+    for (int threads : {2, 5}) {
+        AsyncEngine engine(surrogateCheckpoint());
+        std::atomic<int> mismatches{0};
+        std::vector<std::thread> clients;
+        clients.reserve(size_t(threads));
+        for (int t = 0; t < threads; ++t) {
+            clients.emplace_back([&, t] {
+                std::vector<size_t> order(texts.size());
+                for (size_t i = 0; i < order.size(); ++i)
+                    order[i] = i;
+                Rng rng(uint64_t(t) * 977 + 13);
+                for (size_t i = order.size(); i > 1; --i)
+                    std::swap(order[i - 1],
+                              order[size_t(rng.uniformInt(
+                                  0, int64_t(i) - 1))]);
+                for (size_t i : order)
+                    if (!sameBits(engine.submit(texts[i]).get(),
+                                  expected[i]))
+                        ++mismatches;
+            });
+        }
+        for (auto &client : clients)
+            client.join();
+        EXPECT_EQ(mismatches.load(), 0) << threads << " threads";
+        // Reconciliation: every request was answered exactly once.
+        const ServeStats &stats = engine.stats();
+        EXPECT_EQ(stats.requests,
+                  uint64_t(threads) * texts.size());
+        EXPECT_EQ(stats.textHits + stats.textMisses, stats.requests);
+        EXPECT_EQ(stats.hits + stats.misses, stats.requests);
+        EXPECT_LE(stats.forwards, stats.misses);
+        // Every distinct canonical block must have been forwarded
+        // at least once to be served at all.
+        const std::unordered_set<std::string> unique(texts.begin(),
+                                                     texts.end());
+        EXPECT_GE(stats.forwards, unique.size());
+    }
+}
+
+TEST(AsyncEngine, SubmitAllGroupMatchesPredictAll)
+{
+    const auto texts = corpusTexts(20, 0x44);
+    AsyncEngine grouped(ithemalCheckpoint());
+    AsyncEngine sync(ithemalCheckpoint());
+    std::vector<std::future<double>> futures =
+        grouped.submitAll(texts);
+    const std::vector<double> direct = sync.predictAll(texts);
+    ASSERT_EQ(futures.size(), direct.size());
+    for (size_t i = 0; i < futures.size(); ++i)
+        EXPECT_TRUE(sameBits(futures[i].get(), direct[i]))
+            << "block " << i;
+}
+
+TEST(AsyncEngine, MicroBatcherCoalescesUnderMaxBatch)
+{
+    // A submitAll group larger than maxBatch must split into
+    // multiple executed batches; one no larger than maxBatch must
+    // not add batches beyond the group flush.
+    const auto texts = corpusTexts(30, 0x55);
+    AsyncConfig cfg;
+    cfg.maxBatch = 8;
+    AsyncEngine engine(ithemalCheckpoint(), cfg);
+    for (std::future<double> &future : engine.submitAll(texts))
+        future.get();
+    const uint64_t batches = engine.stats().batches;
+    EXPECT_GE(batches, uint64_t(texts.size() + 7) / 8);
+}
+
+TEST(AsyncEngine, ShutdownDrainsPendingFutures)
+{
+    const auto texts = corpusTexts(24, 0x66);
+    AsyncEngine engine(ithemalCheckpoint());
+    PredictionEngine reference(ithemalCheckpoint());
+    std::vector<std::future<double>> futures;
+    futures.reserve(texts.size());
+    for (const auto &text : texts)
+        futures.push_back(engine.submit(text));
+    // Shut down immediately: every already-submitted future must
+    // still complete, with the correct bits.
+    engine.shutdown();
+    for (size_t i = 0; i < texts.size(); ++i)
+        EXPECT_TRUE(
+            sameBits(futures[i].get(), reference.predict(texts[i])));
+    // Intake is closed afterwards.
+    EXPECT_THROW(engine.submit(texts[0]), std::runtime_error);
+    // shutdown is idempotent.
+    engine.shutdown();
+}
+
+TEST(AsyncEngine, ParseErrorsPropagateThroughFutures)
+{
+    AsyncEngine engine(ithemalCheckpoint());
+    const auto texts = corpusTexts(4, 0x77);
+    std::vector<std::string> mixed = {texts[0], "# only a comment\n",
+                                      texts[1]};
+    std::vector<std::future<double>> futures =
+        engine.submitAll(mixed);
+    // Good requests in the same micro-batch still succeed.
+    EXPECT_GT(futures[0].get(), 0.0);
+    EXPECT_THROW(futures[1].get(), std::runtime_error);
+    EXPECT_GT(futures[2].get(), 0.0);
+    // The synchronous wrapper surfaces the same error by throwing.
+    EXPECT_THROW(engine.predict("BOGUS_OPCODE %zz\n"),
+                 std::runtime_error);
+}
+
+TEST(AsyncEngine, WrapperAndAsyncServeIdenticalBits)
+{
+    const auto texts = corpusTexts(12, 0x88);
+    PredictionEngine wrapper(surrogateCheckpoint());
+    AsyncEngine direct(surrogateCheckpoint());
+    for (const auto &text : texts) {
+        const double a = wrapper.predict(text);
+        const double b = direct.submit(text).get();
+        EXPECT_TRUE(sameBits(a, b));
+        EXPECT_TRUE(sameBits(a, wrapper.predictUncached(text)));
+    }
+}
+
+TEST(AsyncEngine, F32ConcurrentSubmissionIsDeterministic)
+{
+    // kF32 is accuracy-gated against f64, but across thread counts
+    // and interleavings it must still be *identical to itself*.
+    const auto texts = corpusTexts(16, 0x99);
+    AsyncConfig cfg;
+    cfg.precision = nn::Precision::kF32;
+    AsyncEngine reference(surrogateCheckpoint(), cfg);
+    std::vector<double> expected;
+    expected.reserve(texts.size());
+    for (const auto &text : texts)
+        expected.push_back(reference.predict(text));
+
+    AsyncEngine engine(surrogateCheckpoint(), cfg);
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 3; ++t) {
+        clients.emplace_back([&, t] {
+            for (size_t i = 0; i < texts.size(); ++i) {
+                const size_t at =
+                    (i * 7 + size_t(t) * 3) % texts.size();
+                if (!sameBits(engine.submit(texts[at]).get(),
+                              expected[at]))
+                    ++mismatches;
+            }
+        });
+    }
+    for (auto &client : clients)
+        client.join();
+    EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(AsyncEngine, ConcurrentSyncCallsAreSafe)
+{
+    // The synchronous entry points are thread-safe too (v1's
+    // "single-caller" restriction is gone): hammer predict and
+    // predictAll from several threads.
+    const auto texts = corpusTexts(24, 0xaa);
+    PredictionEngine reference(ithemalCheckpoint());
+    std::vector<double> expected;
+    for (const auto &text : texts)
+        expected.push_back(reference.predict(text));
+
+    AsyncEngine engine(ithemalCheckpoint());
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 4; ++t) {
+        clients.emplace_back([&, t] {
+            if (t % 2 == 0) {
+                const std::vector<double> all =
+                    engine.predictAll(texts);
+                for (size_t i = 0; i < texts.size(); ++i)
+                    if (!sameBits(all[i], expected[i]))
+                        ++mismatches;
+            } else {
+                for (size_t i = 0; i < texts.size(); ++i)
+                    if (!sameBits(engine.predict(texts[i]),
+                                  expected[i]))
+                        ++mismatches;
+            }
+        });
+    }
+    for (auto &client : clients)
+        client.join();
+    EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ShardedLruCacheTest, StripedGetPutAndEviction)
+{
+    ShardedLruCache<std::string, double> cache(16, 4);
+    EXPECT_EQ(cache.numStripes(), 4);
+    EXPECT_EQ(cache.capacity(), 16u);
+    for (int i = 0; i < 64; ++i)
+        cache.put("key" + std::to_string(i), double(i));
+    EXPECT_LE(cache.size(), 16u);
+    EXPECT_GT(cache.size(), 0u);
+    // Whatever survived must read back exactly.
+    for (int i = 0; i < 64; ++i) {
+        const auto hit = cache.get("key" + std::to_string(i));
+        if (hit) {
+            EXPECT_EQ(*hit, double(i));
+        }
+    }
+    EXPECT_FALSE(cache.get("never-inserted").has_value());
+}
+
+TEST(ShardedLruCacheTest, ConcurrentAccessKeepsValuesExact)
+{
+    ShardedLruCache<std::string, double> cache(256, 8);
+    std::atomic<int> corrupt{0};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 4; ++t) {
+        workers.emplace_back([&, t] {
+            Rng rng{uint64_t(t)};
+            for (int i = 0; i < 2000; ++i) {
+                const int k = int(rng.uniformInt(0, 127));
+                const std::string key =
+                    "key" + std::to_string(k);
+                if (i % 2 == 0) {
+                    cache.put(key, double(k));
+                } else if (const auto hit = cache.get(key)) {
+                    if (*hit != double(k))
+                        ++corrupt;
+                }
+            }
+        });
+    }
+    for (auto &worker : workers)
+        worker.join();
+    EXPECT_EQ(corrupt.load(), 0);
+}
+
+} // namespace
+} // namespace difftune::serve
