@@ -51,6 +51,7 @@
 #include "hw/default_table.hh"
 #include "isa/parse.hh"
 #include "mca/xmca.hh"
+#include "nn/matvec_dispatch.hh"
 #include "serve/workload.hh"
 
 namespace
@@ -186,6 +187,12 @@ cmdInfo(int argc, char **argv)
                       << probe.async().sharedWeightBytes()
                       << " derived bytes shared across "
                       << probe.workers() << " workers\n";
+            const auto &interner = probe.async().interner();
+            std::cout << "  front end: matvec kernel "
+                      << nn::matvecPathName() << "; intern tables "
+                      << interner.numInsts() << " insts / "
+                      << interner.numBlocks() << " blocks, "
+                      << interner.bytes() << " bytes\n";
         } catch (const std::exception &error) {
             std::cout << "  serving: unavailable ("
                       << stripErrorPrefix(error.what()) << ")\n";
@@ -295,8 +302,15 @@ cmdBench(int argc, char **argv)
               << stats.textHits.load() << " raw-text hits / "
               << stats.textMisses.load() << " misses, "
               << stats.hits.load() << " total cache hits, "
+              << stats.internHits.load() << " intern hits, "
+              << stats.encodeHits.load() << " encode hits, "
               << stats.forwards.load() << " forwards, "
               << stats.batches.load() << " batches\n"
+              << "front end: matvec kernel " << nn::matvecPathName()
+              << "; intern tables "
+              << engine.async().interner().numInsts() << " insts / "
+              << engine.async().interner().numBlocks() << " blocks, "
+              << engine.async().interner().bytes() << " bytes\n"
               << "shared snapshot: "
               << engine.async().sharedWeightBytes()
               << " derived bytes resident once (pre-v2 layout: "

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Interner implementation: two append-only CAS hash tables (one for
+ * instructions, one for block shapes) with dense-id side tables.
+ */
+
+#include "isa/intern.hh"
+
+#include <algorithm>
+#include <atomic>
+
+#include "base/logging.hh"
+
+namespace difftune::isa
+{
+
+namespace
+{
+
+/**
+ * The canonical identity of an instruction: exactly the fields
+ * toString() prints. Fields an opcode does not print are normalized
+ * away (immediates of a !hasImm opcode, memory refs of a no-mem or
+ * stack opcode), so key equality == canonical-text equality.
+ */
+struct InstKey
+{
+    OpcodeId opcode = invalidOpcode;
+    uint8_t nslots = 0;
+    RegId slots[3] = {invalidReg, invalidReg, invalidReg};
+    RegId base = invalidReg;
+    int32_t disp = 0;
+    int64_t imm = 0;
+
+    bool
+    operator==(const InstKey &other) const
+    {
+        return opcode == other.opcode && nslots == other.nslots &&
+               slots[0] == other.slots[0] &&
+               slots[1] == other.slots[1] &&
+               slots[2] == other.slots[2] && base == other.base &&
+               disp == other.disp && imm == other.imm;
+    }
+};
+
+InstKey
+canonicalKey(const Instruction &inst)
+{
+    const OpcodeInfo &op = inst.info();
+    InstKey key;
+    key.opcode = inst.opcode;
+    key.nslots = uint8_t(inst.slots.size());
+    panic_if(inst.slots.size() > 3, "instruction with {} slots",
+             inst.slots.size());
+    for (size_t i = 0; i < inst.slots.size(); ++i)
+        key.slots[i] = inst.slots[i];
+    if (op.mem != MemMode::None && !op.stackOp) {
+        key.base = inst.mem.base;
+        key.disp = inst.mem.disp;
+    }
+    if (op.hasImm)
+        key.imm = inst.imm;
+    return key;
+}
+
+constexpr uint64_t fnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t fnvPrime = 0x100000001b3ULL;
+
+inline uint64_t
+fnvMix(uint64_t hash, uint64_t value)
+{
+    return (hash ^ value) * fnvPrime;
+}
+
+uint64_t
+hashKey(const InstKey &key)
+{
+    uint64_t h = fnvOffset;
+    h = fnvMix(h, key.opcode);
+    h = fnvMix(h, key.nslots);
+    h = fnvMix(h, key.slots[0]);
+    h = fnvMix(h, key.slots[1]);
+    h = fnvMix(h, key.slots[2]);
+    h = fnvMix(h, key.base);
+    h = fnvMix(h, uint32_t(key.disp));
+    h = fnvMix(h, uint64_t(key.imm));
+    return h;
+}
+
+uint64_t
+hashKey(const std::vector<InstId> &ids)
+{
+    uint64_t h = fnvOffset;
+    for (InstId id : ids)
+        h = fnvMix(h, id);
+    return h;
+}
+
+/**
+ * One append-only CAS table: hash buckets of immutable nodes plus a
+ * dense id -> node side table. Same publication scheme as the
+ * WeightSnapshot projection cache: a node's fields are made visible
+ * by the release CAS that links it into its bucket, and the byId
+ * store precedes that CAS, so any thread that can observe an id can
+ * also dereference it.
+ */
+template <typename Node>
+struct Table
+{
+    explicit Table(size_t capacity_in)
+        : capacity(capacity_in), mask(bucketCount(capacity_in) - 1),
+          buckets(new std::atomic<Node *>[mask + 1]),
+          byId(new std::atomic<Node *>[capacity_in])
+    {
+        for (size_t i = 0; i <= mask; ++i)
+            buckets[i].store(nullptr, std::memory_order_relaxed);
+        for (size_t i = 0; i < capacity; ++i)
+            byId[i].store(nullptr, std::memory_order_relaxed);
+    }
+
+    ~Table()
+    {
+        for (size_t i = 0; i <= mask; ++i) {
+            Node *node = buckets[i].load(std::memory_order_relaxed);
+            while (node) {
+                Node *next = node->next;
+                delete node;
+                node = next;
+            }
+        }
+    }
+
+    static size_t
+    bucketCount(size_t capacity)
+    {
+        // Power-of-two buckets at load factor <= 2.
+        size_t want = std::max<size_t>(capacity / 2, 64);
+        size_t count = 64;
+        while (count < want)
+            count <<= 1;
+        return count;
+    }
+
+    size_t
+    fixedBytes() const
+    {
+        return (mask + 1 + capacity) * sizeof(std::atomic<Node *>);
+    }
+
+    const size_t capacity;
+    const size_t mask;
+    std::unique_ptr<std::atomic<Node *>[]> buckets;
+    std::unique_ptr<std::atomic<Node *>[]> byId;
+    std::atomic<uint32_t> nextId{0};
+    std::atomic<uint32_t> published{0};
+    std::atomic<size_t> heapBytes{0};
+};
+
+/**
+ * Insert-if-absent: find @p key in @p table, else publish a node
+ * built by @p make (which must fill every field but id/next).
+ * Retries after a lost CAS re-walk only the newly-prepended prefix
+ * for a duplicate; the loser of a genuine same-key race deletes its
+ * node, so exactly one id per key ever escapes. @p known is false
+ * only for the thread whose node won publication. Returns the
+ * sentinel ~0u when the table is at capacity.
+ */
+template <typename Node, typename Key, typename Make>
+uint32_t
+findOrInsert(Table<Node> &table, const Key &key, uint64_t hash,
+             bool &known, Make &&make)
+{
+    std::atomic<Node *> &bucket = table.buckets[hash & table.mask];
+    Node *head = bucket.load(std::memory_order_acquire);
+    for (Node *node = head; node; node = node->next) {
+        if (node->key == key) {
+            known = true;
+            return node->id;
+        }
+    }
+    known = false;
+    if (table.nextId.load(std::memory_order_relaxed) >=
+        table.capacity)
+        return 0xffffffffu;
+    const uint32_t id =
+        table.nextId.fetch_add(1, std::memory_order_relaxed);
+    if (id >= table.capacity)
+        return 0xffffffffu;
+
+    Node *node = make();
+    node->id = id;
+    node->next = head;
+    // byId before the bucket CAS: the release CAS is what makes the
+    // id observable, so byId[id] is visible to anyone who sees it.
+    table.byId[id].store(node, std::memory_order_relaxed);
+    while (!bucket.compare_exchange_weak(head, node,
+                                         std::memory_order_release,
+                                         std::memory_order_acquire)) {
+        // Lost the race: someone prepended. Check only the new
+        // prefix (new head .. our recorded next) for our key —
+        // compared via node->key, since make() may have moved the
+        // caller's key into the node.
+        for (Node *walk = head; walk != node->next;
+             walk = walk->next) {
+            if (walk->key == node->key) {
+                table.byId[id].store(nullptr,
+                                     std::memory_order_relaxed);
+                delete node;
+                known = true;
+                return walk->id;
+            }
+        }
+        node->next = head;
+    }
+    table.published.fetch_add(1, std::memory_order_relaxed);
+    table.heapBytes.fetch_add(sizeof(Node) + node->dynamicBytes(),
+                              std::memory_order_relaxed);
+    return id;
+}
+
+} // namespace
+
+struct Interner::Impl
+{
+    struct InstNode
+    {
+        InstKey key;
+        std::vector<TokenId> tokens;
+        uint32_t id = 0;
+        InstNode *next = nullptr;
+
+        size_t
+        dynamicBytes() const
+        {
+            return tokens.capacity() * sizeof(TokenId);
+        }
+    };
+
+    struct BlockNode
+    {
+        std::vector<InstId> key;
+        uint32_t id = 0;
+        BlockNode *next = nullptr;
+
+        size_t
+        dynamicBytes() const
+        {
+            return key.capacity() * sizeof(InstId);
+        }
+    };
+
+    Impl(size_t max_insts, size_t max_blocks)
+        : insts(max_insts), blocks(max_blocks)
+    {
+    }
+
+    Table<InstNode> insts;
+    Table<BlockNode> blocks;
+};
+
+Interner::Interner(size_t max_insts, size_t max_blocks)
+    : impl_(std::make_unique<Impl>(max_insts, max_blocks))
+{
+    fatal_if(max_insts == 0 || max_blocks == 0,
+             "Interner capacities must be positive");
+    fatal_if(max_insts >= invalidInstId ||
+                 max_blocks >= invalidBlockId,
+             "Interner capacity collides with the invalid-id "
+             "sentinel");
+}
+
+Interner::~Interner() = default;
+
+InstId
+Interner::internInst(const Instruction &inst)
+{
+    const InstKey key = canonicalKey(inst);
+    bool known = false;
+    return findOrInsert(impl_->insts, key, hashKey(key), known, [&] {
+        auto *node = new Impl::InstNode;
+        node->key = key;
+        node->tokens = theVocab().encode(inst);
+        return node;
+    });
+}
+
+BlockId
+Interner::internBlock(const BasicBlock &block)
+{
+    bool known = false;
+    return internBlock(block, known);
+}
+
+BlockId
+Interner::internBlock(const BasicBlock &block, bool &known)
+{
+    known = false;
+    std::vector<InstId> ids;
+    ids.reserve(block.size());
+    for (const Instruction &inst : block.insts) {
+        const InstId id = internInst(inst);
+        if (id == invalidInstId)
+            return invalidBlockId;
+        ids.push_back(id);
+    }
+    return findOrInsert(impl_->blocks, ids, hashKey(ids), known,
+                        [&] {
+                            auto *node = new Impl::BlockNode;
+                            node->key = std::move(ids);
+                            return node;
+                        });
+}
+
+const std::vector<TokenId> &
+Interner::tokens(InstId id) const
+{
+    panic_if(id >= impl_->insts.capacity, "bad InstId {}", id);
+    const Impl::InstNode *node =
+        impl_->insts.byId[id].load(std::memory_order_acquire);
+    panic_if(!node, "unpublished InstId {}", id);
+    return node->tokens;
+}
+
+const std::vector<InstId> &
+Interner::instIds(BlockId id) const
+{
+    panic_if(id >= impl_->blocks.capacity, "bad BlockId {}", id);
+    const Impl::BlockNode *node =
+        impl_->blocks.byId[id].load(std::memory_order_acquire);
+    panic_if(!node, "unpublished BlockId {}", id);
+    return node->key;
+}
+
+size_t
+Interner::numInsts() const
+{
+    return impl_->insts.published.load(std::memory_order_relaxed);
+}
+
+size_t
+Interner::numBlocks() const
+{
+    return impl_->blocks.published.load(std::memory_order_relaxed);
+}
+
+size_t
+Interner::bytes() const
+{
+    return impl_->insts.fixedBytes() + impl_->blocks.fixedBytes() +
+           impl_->insts.heapBytes.load(std::memory_order_relaxed) +
+           impl_->blocks.heapBytes.load(std::memory_order_relaxed);
+}
+
+} // namespace difftune::isa

@@ -58,7 +58,7 @@ Isa::add(OpcodeInfo info)
 }
 
 OpcodeId
-Isa::opcodeByName(const std::string &name) const
+Isa::opcodeByName(std::string_view name) const
 {
     auto it = byName_.find(name);
     return it == byName_.end() ? invalidOpcode : it->second;

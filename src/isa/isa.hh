@@ -9,6 +9,7 @@
 #define DIFFTUNE_ISA_ISA_HH
 
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -36,8 +37,12 @@ class Isa
         return opcodes_[id];
     }
 
-    /** @return the opcode id for @p name, or invalidOpcode. */
-    OpcodeId opcodeByName(const std::string &name) const;
+    /**
+     * @return the opcode id for @p name, or invalidOpcode. Accepts a
+     * zero-copy slice: the lookup is heterogeneous, so the tokenizer
+     * never materializes a std::string for the mnemonic.
+     */
+    OpcodeId opcodeByName(std::string_view name) const;
 
     /** @return all opcode ids of the given class. */
     std::vector<OpcodeId> opcodesOfClass(OpClass cls) const;
@@ -52,8 +57,22 @@ class Isa
     /** Build the full opcode table (called from the constructor). */
     void buildTable();
 
+    /** Transparent hash: string_view lookups without a temporary. */
+    struct NameHash
+    {
+        using is_transparent = void;
+
+        size_t
+        operator()(std::string_view name) const
+        {
+            return std::hash<std::string_view>{}(name);
+        }
+    };
+
     std::vector<OpcodeInfo> opcodes_;
-    std::unordered_map<std::string, OpcodeId> byName_;
+    std::unordered_map<std::string, OpcodeId, NameHash,
+                       std::equal_to<>>
+        byName_;
 };
 
 /** @return the process-wide shared Isa instance. */

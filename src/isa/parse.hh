@@ -6,12 +6,20 @@
  * line, `OPCODE operand, operand, ...`, with `%reg` register
  * operands, `$imm` immediates and `disp(%base)` memory references.
  * Lines that are empty or start with '#' are ignored.
+ *
+ * The front end is a single-pass zero-copy tokenizer: every lexical
+ * item is a std::string_view slice of the caller's buffer, so the
+ * hot serving path (parse → intern → predict) allocates no per-token
+ * std::string. The input buffer must stay alive for the duration of
+ * the call only — parsed Instructions own their operands by value.
  */
 
 #ifndef DIFFTUNE_ISA_PARSE_HH
 #define DIFFTUNE_ISA_PARSE_HH
 
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "isa/instruction.hh"
 
@@ -19,13 +27,42 @@ namespace difftune::isa
 {
 
 /**
+ * One lexical item of the canonical grammar — a mnemonic or one
+ * comma-separated operand — as a zero-copy slice of the input text
+ * (trimmed of surrounding whitespace, never allocated). Slices
+ * borrow the caller's buffer: they are valid only while it lives.
+ */
+struct Lexeme
+{
+    std::string_view text; ///< trimmed slice of the input
+    uint32_t line = 0;     ///< 0-based source line in the block text
+    bool mnemonic = false; ///< first lexeme of its instruction line
+    /**
+     * The slice still carries interior whitespace ("%r ax"); the
+     * parser compacts such operands on a cold fallback path, keeping
+     * the legacy parser's elide-all-whitespace semantics without
+     * giving up zero-copy slices for well-formed input.
+     */
+    bool spaced = false;
+};
+
+/**
+ * Single-pass zero-copy scan of @p text: append one Lexeme per
+ * mnemonic/operand to @p out (cleared first). Blank and '#' comment
+ * lines are skipped exactly as parseBlock() skips them. Never
+ * throws — structural errors (empty operands, unknown names) are
+ * the parser's to report. @return the number of instruction lines.
+ */
+size_t lexBlock(std::string_view text, std::vector<Lexeme> &out);
+
+/**
  * Parse a single instruction.
  * @throws std::runtime_error (via fatal()) on malformed input.
  */
-Instruction parseInstruction(const std::string &line);
+Instruction parseInstruction(std::string_view line);
 
 /** Parse a multi-line block. */
-BasicBlock parseBlock(const std::string &text);
+BasicBlock parseBlock(std::string_view text);
 
 } // namespace difftune::isa
 

@@ -6,6 +6,7 @@
 #include "isa/registers.hh"
 
 #include <array>
+#include <unordered_map>
 
 #include "base/logging.hh"
 
@@ -52,21 +53,71 @@ regName(RegId reg, int width)
     return "reg?" + std::to_string(reg);
 }
 
-RegId
-regFromName(const std::string &name)
+namespace
 {
-    for (RegId i = 0; i < numGprRegs; ++i) {
-        if (name == gpr64Names[i] || name == gpr32Names[i])
-            return i;
+
+/**
+ * Interned fixed-name table (GPRs at both widths, flags), built once
+ * per process: the zero-copy parser resolves register slices with
+ * one hash probe instead of a linear scan, and never materializes a
+ * std::string. Vector registers are handled by prefix below (their
+ * name space is parameterized by an index).
+ */
+const std::unordered_map<std::string_view, RegId> &
+fixedRegNames()
+{
+    static const std::unordered_map<std::string_view, RegId> table =
+        [] {
+            std::unordered_map<std::string_view, RegId> t;
+            t.reserve(2 * numGprRegs + 1);
+            for (RegId i = 0; i < numGprRegs; ++i) {
+                t.emplace(gpr64Names[i], i);
+                t.emplace(gpr32Names[i], i);
+            }
+            t.emplace("flags", flagsReg);
+            return t;
+        }();
+    return table;
+}
+
+/**
+ * atoi-compatible index parse (optional sign, leading digits,
+ * trailing garbage ignored) so "xmm07" keeps resolving exactly as
+ * the legacy strtol-based parser resolved it.
+ */
+int
+parseIndexPrefix(std::string_view text)
+{
+    size_t pos = 0;
+    bool negative = false;
+    if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) {
+        negative = text[pos] == '-';
+        ++pos;
     }
-    if (name.size() >= 4 &&
-        (name.compare(0, 3, "xmm") == 0 || name.compare(0, 3, "ymm") == 0)) {
-        int idx = std::atoi(name.c_str() + 3);
+    int value = 0;
+    for (; pos < text.size() && text[pos] >= '0' && text[pos] <= '9';
+         ++pos) {
+        if (value <= numVecRegs) // saturate; only 0..15 are valid
+            value = value * 10 + (text[pos] - '0');
+    }
+    return negative ? -value : value;
+}
+
+} // namespace
+
+RegId
+regFromName(std::string_view name)
+{
+    const auto &fixed = fixedRegNames();
+    auto it = fixed.find(name);
+    if (it != fixed.end())
+        return it->second;
+    if (name.size() >= 4 && (name.substr(0, 3) == "xmm" ||
+                             name.substr(0, 3) == "ymm")) {
+        int idx = parseIndexPrefix(name.substr(3));
         if (idx >= 0 && idx < numVecRegs)
             return firstVec + static_cast<RegId>(idx);
     }
-    if (name == "flags")
-        return flagsReg;
     return invalidReg;
 }
 

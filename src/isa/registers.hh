@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace difftune::isa
 {
@@ -50,8 +51,12 @@ RegClass regClass(RegId reg);
 /** @return the AT&T-style name of @p reg at the given bit width. */
 std::string regName(RegId reg, int width = 64);
 
-/** @return the canonical id for a register name, or invalidReg. */
-RegId regFromName(const std::string &name);
+/**
+ * @return the canonical id for a register name, or invalidReg.
+ * Accepts a zero-copy slice; the GPR/flags names resolve through an
+ * interned name table built once per process.
+ */
+RegId regFromName(std::string_view name);
 
 /** @return true if @p reg names a GPR. */
 inline bool

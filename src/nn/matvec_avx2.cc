@@ -1,0 +1,194 @@
+/**
+ * @file
+ * AVX2 forward matvec kernels, bit-identical to the scalar
+ * reference.
+ *
+ * The vectorization is *across rows*: 4 f64 (8 f32) rows share one
+ * 256-bit accumulator, one row per lane. Each step loads a square
+ * block of the weight matrix, transposes it in registers to column
+ * vectors, and accumulates column k against the broadcast x[k] with
+ * separate mul and add intrinsics — so every lane performs exactly
+ * the scalar kernel's operation sequence: products and sums rounded
+ * individually, in k-ascending order, per row. No FMA is used and
+ * the file is compiled with -ffp-contract=off, so the compiler
+ * cannot fuse a mul+add into one rounding. Remainder columns gather
+ * scalars into a vector (same arithmetic); remainder rows run the
+ * plain scalar loop (a row's sum does not depend on the blocking).
+ *
+ * Built only when the compiler accepts -mavx2 (the dispatcher gets
+ * a null provider otherwise) and *executed* only after cpuid
+ * reports AVX2 (nn/matvec_dispatch.cc).
+ */
+
+#include "nn/matvec_dispatch.hh"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+namespace difftune::nn
+{
+
+namespace
+{
+
+void
+avx2F64(const double *w, const double *x, double *out, int rows,
+        int cols)
+{
+    int r = 0;
+    for (; r + 4 <= rows; r += 4) {
+        const double *w0 = w + size_t(r) * cols;
+        const double *w1 = w0 + cols;
+        const double *w2 = w1 + cols;
+        const double *w3 = w2 + cols;
+        __m256d acc = _mm256_setzero_pd();
+        int k = 0;
+        for (; k + 4 <= cols; k += 4) {
+            const __m256d a0 = _mm256_loadu_pd(w0 + k);
+            const __m256d a1 = _mm256_loadu_pd(w1 + k);
+            const __m256d a2 = _mm256_loadu_pd(w2 + k);
+            const __m256d a3 = _mm256_loadu_pd(w3 + k);
+            // 4x4 transpose: col[j][lane] = w_lane[k + j].
+            const __m256d t0 = _mm256_unpacklo_pd(a0, a1);
+            const __m256d t1 = _mm256_unpackhi_pd(a0, a1);
+            const __m256d t2 = _mm256_unpacklo_pd(a2, a3);
+            const __m256d t3 = _mm256_unpackhi_pd(a2, a3);
+            const __m256d c0 = _mm256_permute2f128_pd(t0, t2, 0x20);
+            const __m256d c1 = _mm256_permute2f128_pd(t1, t3, 0x20);
+            const __m256d c2 = _mm256_permute2f128_pd(t0, t2, 0x31);
+            const __m256d c3 = _mm256_permute2f128_pd(t1, t3, 0x31);
+            // Separate mul/add per column, columns in k order: each
+            // lane rounds exactly like the scalar accumulator.
+            acc = _mm256_add_pd(
+                acc, _mm256_mul_pd(c0, _mm256_set1_pd(x[k])));
+            acc = _mm256_add_pd(
+                acc, _mm256_mul_pd(c1, _mm256_set1_pd(x[k + 1])));
+            acc = _mm256_add_pd(
+                acc, _mm256_mul_pd(c2, _mm256_set1_pd(x[k + 2])));
+            acc = _mm256_add_pd(
+                acc, _mm256_mul_pd(c3, _mm256_set1_pd(x[k + 3])));
+        }
+        for (; k < cols; ++k) {
+            const __m256d col =
+                _mm256_set_pd(w3[k], w2[k], w1[k], w0[k]);
+            acc = _mm256_add_pd(
+                acc, _mm256_mul_pd(col, _mm256_set1_pd(x[k])));
+        }
+        _mm256_storeu_pd(out + r, acc);
+    }
+    for (; r < rows; ++r) {
+        const double *wr = w + size_t(r) * cols;
+        double sum = 0;
+        for (int k = 0; k < cols; ++k)
+            sum += wr[k] * x[k];
+        out[r] = sum;
+    }
+}
+
+void
+avx2F32(const float *w, const float *x, float *out, int rows,
+        int cols)
+{
+    int r = 0;
+    for (; r + 8 <= rows; r += 8) {
+        const float *wr[8];
+        for (int i = 0; i < 8; ++i)
+            wr[i] = w + size_t(r + i) * cols;
+        __m256 acc = _mm256_setzero_ps();
+        int k = 0;
+        for (; k + 8 <= cols; k += 8) {
+            const __m256 a0 = _mm256_loadu_ps(wr[0] + k);
+            const __m256 a1 = _mm256_loadu_ps(wr[1] + k);
+            const __m256 a2 = _mm256_loadu_ps(wr[2] + k);
+            const __m256 a3 = _mm256_loadu_ps(wr[3] + k);
+            const __m256 a4 = _mm256_loadu_ps(wr[4] + k);
+            const __m256 a5 = _mm256_loadu_ps(wr[5] + k);
+            const __m256 a6 = _mm256_loadu_ps(wr[6] + k);
+            const __m256 a7 = _mm256_loadu_ps(wr[7] + k);
+            // 8x8 transpose: col[j][lane] = w_lane[k + j].
+            const __m256 t0 = _mm256_unpacklo_ps(a0, a1);
+            const __m256 t1 = _mm256_unpackhi_ps(a0, a1);
+            const __m256 t2 = _mm256_unpacklo_ps(a2, a3);
+            const __m256 t3 = _mm256_unpackhi_ps(a2, a3);
+            const __m256 t4 = _mm256_unpacklo_ps(a4, a5);
+            const __m256 t5 = _mm256_unpackhi_ps(a4, a5);
+            const __m256 t6 = _mm256_unpacklo_ps(a6, a7);
+            const __m256 t7 = _mm256_unpackhi_ps(a6, a7);
+            const __m256 u0 =
+                _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(1, 0, 1, 0));
+            const __m256 u1 =
+                _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(3, 2, 3, 2));
+            const __m256 u2 =
+                _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(1, 0, 1, 0));
+            const __m256 u3 =
+                _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(3, 2, 3, 2));
+            const __m256 u4 =
+                _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(1, 0, 1, 0));
+            const __m256 u5 =
+                _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(3, 2, 3, 2));
+            const __m256 u6 =
+                _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(1, 0, 1, 0));
+            const __m256 u7 =
+                _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(3, 2, 3, 2));
+            const __m256 cols8[8] = {
+                _mm256_permute2f128_ps(u0, u4, 0x20),
+                _mm256_permute2f128_ps(u1, u5, 0x20),
+                _mm256_permute2f128_ps(u2, u6, 0x20),
+                _mm256_permute2f128_ps(u3, u7, 0x20),
+                _mm256_permute2f128_ps(u0, u4, 0x31),
+                _mm256_permute2f128_ps(u1, u5, 0x31),
+                _mm256_permute2f128_ps(u2, u6, 0x31),
+                _mm256_permute2f128_ps(u3, u7, 0x31),
+            };
+            for (int j = 0; j < 8; ++j)
+                acc = _mm256_add_ps(
+                    acc, _mm256_mul_ps(cols8[j],
+                                       _mm256_set1_ps(x[k + j])));
+        }
+        for (; k < cols; ++k) {
+            const __m256 col = _mm256_set_ps(
+                wr[7][k], wr[6][k], wr[5][k], wr[4][k], wr[3][k],
+                wr[2][k], wr[1][k], wr[0][k]);
+            acc = _mm256_add_ps(
+                acc, _mm256_mul_ps(col, _mm256_set1_ps(x[k])));
+        }
+        _mm256_storeu_ps(out + r, acc);
+    }
+    for (; r < rows; ++r) {
+        const float *row = w + size_t(r) * cols;
+        float sum = 0;
+        for (int k = 0; k < cols; ++k)
+            sum += row[k] * x[k];
+        out[r] = sum;
+    }
+}
+
+const MatvecKernels avx2Kernels{avx2F64, avx2F32, "avx2"};
+
+} // namespace
+
+const MatvecKernels *
+matvecAvx2Kernels()
+{
+    return &avx2Kernels;
+}
+
+} // namespace difftune::nn
+
+#else // !__AVX2__
+
+namespace difftune::nn
+{
+
+const MatvecKernels *
+matvecAvx2Kernels()
+{
+    return nullptr;
+}
+
+} // namespace difftune::nn
+
+#endif // __AVX2__

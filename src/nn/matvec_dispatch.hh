@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Runtime-dispatched forward matvec kernels.
+ *
+ * One process-wide selection, made on first use, routes every
+ * forward matvec (autograd engine, batched executor, snapshot
+ * projections — all via nn/matvec_inl.hh) to either the portable
+ * scalar kernel or the AVX2 kernel:
+ *
+ *  - scalar: the ILP-blocked reference in matvec_inl.hh.
+ *  - avx2:   vectorized *across rows* (4 f64 / 8 f32 rows per
+ *            256-bit register) with each lane's accumulation kept in
+ *            k-ascending order and no FMA contraction, so both f64
+ *            and f32 results are bit-identical to the scalar kernel
+ *            (tests/test_frontend.cc proves it exhaustively; the
+ *            golden suites re-prove it end to end). Selected only
+ *            when the kernels were compiled in AND cpuid reports
+ *            AVX2.
+ *
+ * Because every caller goes through the one dispatch point, the f64
+ * bit-exactness contract (batched == sequential reference) holds
+ * per selected path by construction — both sides of any comparison
+ * always run the same kernel.
+ *
+ * Setting DIFFTUNE_FORCE_SCALAR (non-empty, not "0") pins the
+ * scalar path; CI runs the nn + serve suites both ways.
+ */
+
+#ifndef DIFFTUNE_NN_MATVEC_DISPATCH_HH
+#define DIFFTUNE_NN_MATVEC_DISPATCH_HH
+
+namespace difftune::nn
+{
+
+/** out = W x (row-major W, rows x cols) in double precision. */
+using MatvecF64Fn = void (*)(const double *w, const double *x,
+                             double *out, int rows, int cols);
+/** out = W x in single precision. */
+using MatvecF32Fn = void (*)(const float *w, const float *x,
+                             float *out, int rows, int cols);
+
+/** One selectable matvec implementation pair. */
+struct MatvecKernels
+{
+    MatvecF64Fn f64 = nullptr;
+    MatvecF32Fn f32 = nullptr;
+    const char *name = "";
+};
+
+/**
+ * The process-wide selected kernels. The choice is made once, on
+ * first call (cpuid probe + DIFFTUNE_FORCE_SCALAR override), and
+ * never changes — switching mid-process would break the
+ * bit-stability of cached predictions.
+ */
+const MatvecKernels &matvecKernels();
+
+/** Name of the selected path: "avx2", "scalar", "scalar (forced)". */
+const char *matvecPathName();
+
+/** The portable scalar kernels (always available). */
+const MatvecKernels &matvecScalarKernels();
+
+/**
+ * The AVX2 kernels, or null when the build had no -mavx2 support.
+ * Callers must check cpuSupportsAvx2() before executing them.
+ */
+const MatvecKernels *matvecAvx2Kernels();
+
+/** Whether this CPU reports AVX2 (false on non-x86). */
+bool cpuSupportsAvx2();
+
+} // namespace difftune::nn
+
+#endif // DIFFTUNE_NN_MATVEC_DISPATCH_HH

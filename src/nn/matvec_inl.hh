@@ -1,12 +1,18 @@
 /**
  * @file
- * The ILP-blocked matrix-vector kernel shared by the autograd engine
- * (nn/graph.cc) and the batched forward executor (nn/batched.cc).
+ * The matrix-vector kernel shared by the autograd engine
+ * (nn/graph.cc), the batched forward executor (nn/batched.cc) and
+ * the snapshot projection tables (nn/snapshot.cc).
  *
- * Internal header: include only from nn/ translation units. Both
- * engines must run the *same* kernel so their results are
- * bit-identical by construction — if you change the blocking or the
- * accumulation order here you change the numerics contract of both
+ * Internal header: include only from nn/ translation units. Every
+ * engine must run the *same* kernel so their results are
+ * bit-identical by construction — matvecForwardT routes through the
+ * one runtime dispatch point (nn/matvec_dispatch.hh), which selects
+ * the scalar or the AVX2 implementation once per process. Both
+ * implementations keep each row's accumulation in the reference
+ * k-ascending order with no FMA contraction, so the selection can
+ * never change results, only speed; if you change the accumulation
+ * order anywhere you change the numerics contract of every engine
  * (see tests/golden/).
  */
 
@@ -14,20 +20,23 @@
 #define DIFFTUNE_NN_MATVEC_INL_HH
 
 #include <cstddef>
+#include <type_traits>
+
+#include "nn/matvec_dispatch.hh"
 
 namespace difftune::nn
 {
 
 /**
- * out = W x for a column vector x, blocked eight rows at a time:
- * eight independent accumulator chains give the FMA units ILP while
- * each row's sum keeps the reference k-ascending order, so results
- * stay bit-identical to the naive loop.
+ * Portable reference kernel: out = W x for a column vector x,
+ * blocked eight rows at a time — eight independent accumulator
+ * chains give the FMA units ILP while each row's sum keeps the
+ * reference k-ascending order, so the blocking is bit-transparent.
  */
 template <typename T>
 inline void
-matvecForwardT(const T *__restrict w, const T *__restrict x,
-               T *__restrict out, int rows, int cols)
+matvecForwardScalarT(const T *__restrict w, const T *__restrict x,
+                     T *__restrict out, int rows, int cols)
 {
     int r = 0;
     for (; r + 8 <= rows; r += 8) {
@@ -86,6 +95,25 @@ matvecForwardT(const T *__restrict w, const T *__restrict x,
             sum += wr[k] * x[k];
         out[r] = sum;
     }
+}
+
+/**
+ * The dispatch point every nn/ engine calls: routes f64/f32 through
+ * the process-wide selected kernels (scalar until AVX2 is both
+ * compiled in and reported by cpuid; DIFFTUNE_FORCE_SCALAR pins
+ * scalar). Bit-identical across paths — see matvec_dispatch.hh.
+ */
+template <typename T>
+inline void
+matvecForwardT(const T *__restrict w, const T *__restrict x,
+               T *__restrict out, int rows, int cols)
+{
+    if constexpr (std::is_same_v<T, double>)
+        matvecKernels().f64(w, x, out, rows, cols);
+    else if constexpr (std::is_same_v<T, float>)
+        matvecKernels().f32(w, x, out, rows, cols);
+    else
+        matvecForwardScalarT(w, x, out, rows, cols);
 }
 
 } // namespace difftune::nn

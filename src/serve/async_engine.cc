@@ -42,8 +42,16 @@ AsyncEngine::AsyncEngine(io::ModelSnapshot artifact,
     : artifact_(std::move(artifact)),
       workers_(config.workers > 0 ? config.workers : workerThreads()),
       precision_(config.precision), config_(config),
+      interner_(config.internCapacity > 0 ? 2 * config.internCapacity
+                                          : size_t(1) << 17,
+                config.internCapacity > 0 ? config.internCapacity
+                                          : size_t(1) << 16),
       textCache_(config.cacheCapacity, cacheStripes(config)),
-      cache_(config.cacheCapacity, cacheStripes(config))
+      cache_(config.cacheCapacity, cacheStripes(config)),
+      encodedCache_(config.encodedCapacity > 0
+                        ? config.encodedCapacity
+                        : 4 * config.cacheCapacity,
+                    cacheStripes(config))
 {
     fatal_if(!artifact_.model || !artifact_.weights,
              "AsyncEngine needs a promoted ModelSnapshot "
@@ -273,17 +281,24 @@ AsyncEngine::predictBlock(const isa::BasicBlock &block)
     ++stats_.requests;
     ++stats_.textMisses; // this entry point bypasses the text cache
     fatal_if(block.empty(), "cannot predict an empty block");
-    std::string key = isa::toString(block);
-    if (std::optional<double> hit = cache_.get(key)) {
-        ++stats_.hits;
-        return *hit;
+    bool known = false;
+    const isa::BlockId id = interner_.internBlock(block, known);
+    if (known)
+        ++stats_.internHits;
+    if (id != isa::invalidBlockId) {
+        if (std::optional<double> hit = cache_.get(id)) {
+            ++stats_.hits;
+            return *hit;
+        }
     }
     std::lock_guard lock(batchMutex_);
     // Re-probe under the batch lock: a racing batch may have just
     // published this block.
-    if (std::optional<double> hit = cache_.get(key)) {
-        ++stats_.hits;
-        return *hit;
+    if (id != isa::invalidBlockId) {
+        if (std::optional<double> hit = cache_.get(id)) {
+            ++stats_.hits;
+            return *hit;
+        }
     }
     ++stats_.misses;
     ++stats_.forwards;
@@ -292,10 +307,12 @@ AsyncEngine::predictBlock(const isa::BasicBlock &block)
     // predictions from one execution mode only, whichever precision
     // is being served.
     std::vector<Miss> one(1);
+    one[0].id = id;
     one[0].block = block;
     forwardMissBatch(0, one, 0, 1);
     const double prediction = one[0].prediction;
-    cache_.put(std::move(key), prediction);
+    if (id != isa::invalidBlockId)
+        cache_.put(id, prediction);
     return prediction;
 }
 
@@ -313,7 +330,8 @@ AsyncEngine::serveBatch(const std::vector<const std::string *> &texts)
     std::unordered_map<std::string_view, uint32_t> raw_first;
     /** (duplicate slot, first slot) pairs resolved after publish. */
     std::vector<std::pair<uint32_t, uint32_t>> raw_dups;
-    std::unordered_map<std::string, size_t> miss_index;
+    /** In-batch canonical dedup, by interned id. */
+    std::unordered_map<isa::BlockId, size_t> miss_index;
 
     for (size_t i = 0; i < texts.size(); ++i) {
         const std::string &text = *texts[i];
@@ -336,11 +354,9 @@ AsyncEngine::serveBatch(const std::vector<const std::string *> &texts)
             continue;
         }
         isa::BasicBlock block;
-        std::string key;
         try {
             block = isa::parseBlock(text);
             fatal_if(block.empty(), "cannot predict an empty block");
-            key = isa::toString(block);
         } catch (...) {
             // Per-request failure: this request's future carries the
             // error; the rest of the batch is served normally.
@@ -348,20 +364,37 @@ AsyncEngine::serveBatch(const std::vector<const std::string *> &texts)
             ++stats_.misses;
             continue;
         }
+        // Resolve the parsed block to its interned canonical id —
+        // the key for the prediction and pre-encoded caches. A
+        // near-miss spelling of a known block lands on its existing
+        // id here, with no canonical string ever built.
+        bool known = false;
+        const isa::BlockId id = interner_.internBlock(block, known);
+        if (known)
+            ++stats_.internHits;
         parsed.push_back(uint32_t(i));
-        if (std::optional<double> hit = cache_.get(key)) {
-            ++stats_.hits;
-            outcomes[i].value = *hit;
-            continue;
+        if (id != isa::invalidBlockId) {
+            if (std::optional<double> hit = cache_.get(id)) {
+                ++stats_.hits;
+                outcomes[i].value = *hit;
+                continue;
+            }
+            ++stats_.misses;
+            auto it = miss_index.find(id);
+            if (it == miss_index.end()) {
+                it = miss_index.emplace(id, misses.size()).first;
+                misses.push_back(
+                    Miss{id, std::move(block), 0.0, {}});
+            }
+            misses[it->second].outputs.push_back(uint32_t(i));
+        } else {
+            // Interner full: serve this block uncachably (correct,
+            // just not memoized) rather than evicting interned
+            // state other keys depend on.
+            ++stats_.misses;
+            misses.push_back(Miss{id, std::move(block), 0.0, {}});
+            misses.back().outputs.push_back(uint32_t(i));
         }
-        ++stats_.misses;
-        auto it = miss_index.find(key);
-        if (it == miss_index.end()) {
-            it = miss_index.emplace(key, misses.size()).first;
-            misses.push_back(
-                Miss{std::move(key), std::move(block), 0.0, {}});
-        }
-        misses[it->second].outputs.push_back(uint32_t(i));
     }
 
     stats_.forwards += misses.size();
@@ -381,7 +414,8 @@ AsyncEngine::serveBatch(const std::vector<const std::string *> &texts)
     for (Miss &miss : misses) {
         for (uint32_t slot : miss.outputs)
             outcomes[slot].value = miss.prediction;
-        cache_.put(std::move(miss.key), miss.prediction);
+        if (miss.id != isa::invalidBlockId)
+            cache_.put(miss.id, miss.prediction);
     }
     for (auto [dup, first] : raw_dups) {
         if (outcomes[first].error)
@@ -402,15 +436,46 @@ AsyncEngine::forwardMissBatch(int shard, std::vector<Miss> &misses,
     nn::BatchedForward &bf = *sh.batched;
     const std::vector<nn::Tensor> &columns = snapshot_->inputColumns();
     const size_t count = hi - lo;
-    std::vector<surrogate::EncodedBlock> encoded;
+    std::vector<std::shared_ptr<const surrogate::EncodedBlock>>
+        encoded;
     std::vector<const surrogate::EncodedBlock *> blocks;
+    std::vector<const std::vector<isa::InstId> *> inst_ids;
     std::vector<std::vector<const nn::Tensor *>> inst_params;
     encoded.reserve(count);
     blocks.reserve(count);
-    for (size_t m = lo; m < hi; ++m)
-        encoded.push_back(surrogate::encodeBlock(misses[m].block));
+    inst_ids.reserve(count);
+    for (size_t m = lo; m < hi; ++m) {
+        const Miss &miss = misses[m];
+        if (miss.id != isa::invalidBlockId) {
+            // Pre-encoded cache: the token lanes of an interned
+            // block are immutable, so a hit skips the vocabulary
+            // encoding entirely. On a miss the lanes come from the
+            // interner's per-instruction token storage (exactly
+            // encodeBlock's output — intern.hh stores the canonical
+            // encoding at intern time).
+            inst_ids.push_back(&interner_.instIds(miss.id));
+            if (auto hit = encodedCache_.get(miss.id)) {
+                ++stats_.encodeHits;
+                encoded.push_back(std::move(*hit));
+            } else {
+                auto lanes =
+                    std::make_shared<surrogate::EncodedBlock>();
+                lanes->reserve(inst_ids.back()->size());
+                for (isa::InstId inst : *inst_ids.back())
+                    lanes->push_back(interner_.tokens(inst));
+                encodedCache_.put(miss.id, lanes);
+                encoded.push_back(std::move(lanes));
+            }
+        } else {
+            // Interner full: encode from scratch, cache nothing.
+            inst_ids.push_back(nullptr);
+            encoded.push_back(
+                std::make_shared<surrogate::EncodedBlock>(
+                    surrogate::encodeBlock(miss.block)));
+        }
+    }
     for (const auto &e : encoded)
-        blocks.push_back(&e);
+        blocks.push_back(e.get());
     if (!columns.empty()) {
         inst_params.reserve(count);
         for (size_t m = lo; m < hi; ++m) {
@@ -423,7 +488,7 @@ AsyncEngine::forwardMissBatch(int shard, std::vector<Miss> &misses,
     }
     std::vector<double> heads;
     artifact_.model->predictBatch(bf, blocks, inst_params, heads,
-                                  &sh.instCache);
+                                  &sh.instCache, &inst_ids);
     // Same expression as Graph::exp (the sequential path's final
     // node), so the kF64 batched prediction is bit-identical to
     // forwardEncoded's.

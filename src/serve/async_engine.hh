@@ -29,6 +29,13 @@
  *    amortization a DL-based simulator needs to win — without any
  *    client-side batching.
  *
+ * The front end behind predict is a three-level cache key hierarchy
+ * (docs/FRONTEND.md): raw text -> interned canonical BlockId ->
+ * encoded token lanes. A miss in the raw-text front cache parses
+ * once, resolves to a dense BlockId in the engine's append-only
+ * isa::Interner, and probes the prediction and pre-encoded caches by
+ * that id — no canonical-text string is built on the hot path.
+ *
  * # Determinism contract (unchanged from v1)
  *
  * A prediction is a pure function of the canonical block text and
@@ -60,6 +67,7 @@
 #include <vector>
 
 #include "io/snapshot.hh"
+#include "isa/intern.hh"
 #include "serve/sharded_cache.hh"
 
 namespace difftune::serve
@@ -83,6 +91,23 @@ struct AsyncConfig
     int maxWaitMicros = 100;
     /** Lock stripes per LRU cache (<= 0: library default). */
     int cacheStripes = 0;
+    /**
+     * Pre-encoded block cache entries (0: 4x cacheCapacity). Sized
+     * larger than the prediction LRU on purpose: an encoded entry
+     * is ~100 bytes and saves a full tokenizer-encoding pass, so
+     * encodings should outlive the predictions they back — a block
+     * whose prediction was evicted then forwards again straight
+     * from its cached lanes.
+     */
+    size_t encodedCapacity = 0;
+    /**
+     * Interned canonical blocks bound (0: library default, 64Ki;
+     * the instruction table gets 2x this). The interner is
+     * append-only, so this bounds its lifetime footprint; past it,
+     * new canonical forms are served without canonical-level
+     * caching (correct, just unmemoized).
+     */
+    size_t internCapacity = 0;
 };
 
 /**
@@ -100,6 +125,21 @@ struct ServeStats
     std::atomic<uint64_t> misses{0};     ///< in no cache when served
     std::atomic<uint64_t> forwards{0};   ///< LSTM forward passes run
     std::atomic<uint64_t> batches{0};    ///< batches executed
+    /**
+     * Parsed blocks whose canonical form the interner had already
+     * seen — the near-miss traffic (same canonical block, different
+     * raw spelling or whitespace) that resolves to an existing
+     * BlockId without building a canonical string. Outside the
+     * requests == hits + misses reconciliation: an intern hit may
+     * still go on to a prediction-cache hit or a forward pass.
+     */
+    std::atomic<uint64_t> internHits{0};
+    /**
+     * Forward-pass blocks whose encoded token lanes came from the
+     * pre-encoded cache instead of re-running the tokenizer →
+     * vocabulary encoding. At most one per entry of forwards.
+     */
+    std::atomic<uint64_t> encodeHits{0};
 };
 
 /** Thread-safe micro-batching engine over one frozen snapshot. */
@@ -203,6 +243,8 @@ class AsyncEngine
     int workers() const { return workers_; }
     nn::Precision precision() const { return precision_; }
     const AsyncConfig &config() const { return config_; }
+    /** The engine's interned canonical tables (sizes/footprint). */
+    const isa::Interner &interner() const { return interner_; }
 
     /**
      * Bytes of weight-derived state this engine shares through its
@@ -236,7 +278,9 @@ class AsyncEngine
     /** Blocks needing a forward pass within one batch. */
     struct Miss
     {
-        std::string key; ///< canonical text
+        /** Interned canonical id, or invalidBlockId (interner full:
+         *  served uncachably, bit-identically). */
+        isa::BlockId id = isa::invalidBlockId;
         isa::BasicBlock block;
         double prediction = 0.0;
         std::vector<uint32_t> outputs; ///< outcome slots to fill
@@ -297,10 +341,27 @@ class AsyncEngine
      */
     std::mutex batchMutex_;
 
+    /**
+     * Interned canonical tables: every parsed block resolves to a
+     * dense BlockId here (append-only, lock-free reads), and the
+     * BlockId keys both LRUs below — no canonical-text string is
+     * built on the hot path. Private to this engine: its ids never
+     * mean anything to another engine's caches.
+     */
+    isa::Interner interner_;
     /** Front cache keyed by the *raw* request text. */
     ShardedLruCache<std::string, double> textCache_;
-    /** Main cache keyed by canonicalized block text. */
-    ShardedLruCache<std::string, double> cache_;
+    /** Main cache: interned canonical block -> prediction. */
+    ShardedLruCache<isa::BlockId, double> cache_;
+    /**
+     * Pre-encoded block cache: interned canonical block -> encoded
+     * token lanes, so a forward pass for a known block skips the
+     * vocabulary encoding (shared_ptr values: a hit borrows the
+     * entry even if a racing put evicts it).
+     */
+    ShardedLruCache<isa::BlockId,
+                    std::shared_ptr<const surrogate::EncodedBlock>>
+        encodedCache_;
     ServeStats stats_;
 
     std::mutex queueMutex_;

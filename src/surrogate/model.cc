@@ -54,7 +54,9 @@ Model::predictBatch(
     nn::BatchedForward &bf,
     const std::vector<const EncodedBlock *> &blocks,
     const std::vector<std::vector<const nn::Tensor *>> &inst_params,
-    std::vector<double> &out, InstHiddenCache *inst_cache) const
+    std::vector<double> &out, InstHiddenCache *inst_cache,
+    const std::vector<const std::vector<isa::InstId> *> *inst_ids)
+    const
 {
     const bool has_params = config_.paramDim > 0;
     panic_if(has_params ? inst_params.size() != blocks.size()
@@ -62,6 +64,12 @@ Model::predictBatch(
              "predictBatch: {} parameter-input blocks for {} blocks "
              "(paramDim {})",
              inst_params.size(), blocks.size(), config_.paramDim);
+    panic_if(inst_cache && !inst_ids,
+             "predictBatch: the cross-batch cache is keyed by "
+             "interned ids; pass inst_ids alongside inst_cache");
+    panic_if(inst_ids && inst_ids->size() != blocks.size(),
+             "predictBatch: {} id sequences for {} blocks",
+             inst_ids->size(), blocks.size());
     out.resize(blocks.size());
     if (blocks.empty())
         return;
@@ -79,48 +87,76 @@ Model::predictBatch(
     // Token level: one lane per *distinct* instruction across the
     // whole batch (embedding rows gathered straight from the table).
     // Instructions found in inst_cache skip the LSTM entirely.
+    // Distinctness is a u32 probe when the caller interned the
+    // instruction; only invalid-id instructions (interner full) pay
+    // the token-vector hash, and those never enter the cross-batch
+    // cache.
     struct InstSrc
     {
         int lane = -1; ///< token lane in this batch, or -1
         const std::vector<double> *cached = nullptr;
     };
     std::vector<InstSrc> sources;
+    std::unordered_map<isa::InstId, int> id_lanes;
     std::unordered_map<std::vector<isa::TokenId>, int,
                        InstHiddenCache::TokenSeqHash>
-        batch_lanes;
+        token_lanes;
+    auto addTokenLane = [&](const std::vector<isa::TokenId> &tokens,
+                            int &lane) {
+        if (lane >= 0)
+            return;
+        lane = bf.addLane(int(tokens.size()));
+        for (size_t t = 0; t < tokens.size(); ++t)
+            bf.setInputParamRow(lane, int(t), 0,
+                                embed_->tableIndex(),
+                                int(tokens[t]));
+    };
     bf.begin(config_.embedDim);
-    for (const EncodedBlock *block : blocks) {
+    for (size_t b = 0; b < blocks.size(); ++b) {
+        const EncodedBlock *block = blocks[b];
         panic_if(block->empty(), "predictBatch on an empty block");
-        for (const auto &tokens : *block) {
+        const std::vector<isa::InstId> *ids =
+            inst_ids ? (*inst_ids)[b] : nullptr;
+        panic_if(ids && ids->size() != block->size(),
+                 "predictBatch: block {} has {} interned ids for "
+                 "{} instructions",
+                 b, ids->size(), block->size());
+        for (size_t i = 0; i < block->size(); ++i) {
+            const std::vector<isa::TokenId> &tokens = (*block)[i];
+            const isa::InstId id =
+                ids ? (*ids)[i] : isa::invalidInstId;
             InstSrc src;
-            if (inst_cache) {
-                auto hit = inst_cache->map_.find(tokens);
-                if (hit != inst_cache->map_.end()) {
-                    src.cached = &hit->second;
-                    sources.push_back(src);
-                    continue;
+            if (id != isa::invalidInstId) {
+                if (inst_cache) {
+                    auto hit = inst_cache->map_.find(id);
+                    if (hit != inst_cache->map_.end()) {
+                        src.cached = &hit->second;
+                        sources.push_back(src);
+                        continue;
+                    }
                 }
+                auto [slot, fresh] = id_lanes.try_emplace(id, -1);
+                if (fresh)
+                    addTokenLane(tokens, slot->second);
+                src.lane = slot->second;
+            } else {
+                auto [slot, fresh] =
+                    token_lanes.try_emplace(tokens, -1);
+                if (fresh)
+                    addTokenLane(tokens, slot->second);
+                src.lane = slot->second;
             }
-            auto [slot, fresh] = batch_lanes.try_emplace(tokens, -1);
-            if (fresh) {
-                slot->second = bf.addLane(int(tokens.size()));
-                for (size_t t = 0; t < tokens.size(); ++t)
-                    bf.setInputParamRow(slot->second, int(t), 0,
-                                        embed_->tableIndex(),
-                                        int(tokens[t]));
-            }
-            src.lane = slot->second;
             sources.push_back(src);
         }
     }
     bf.run(tokenLstm_->batchedRef());
     if (inst_cache) {
-        for (auto &[tokens, lane] : batch_lanes) {
+        for (auto &[id, lane] : id_lanes) {
             if (inst_cache->map_.size() >= inst_cache->capacity_)
                 break;
             std::vector<double> hidden(size_t(config_.hidden));
             bf.finalHidden(lane, hidden.data());
-            inst_cache->map_.emplace(tokens, std::move(hidden));
+            inst_cache->map_.emplace(id, std::move(hidden));
         }
     }
 

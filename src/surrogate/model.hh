@@ -22,6 +22,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "isa/intern.hh"
 #include "isa/tokens.hh"
 #include "nn/modules.hh"
 
@@ -32,14 +33,16 @@ namespace difftune::surrogate
 using EncodedBlock = std::vector<std::vector<isa::TokenId>>;
 
 /**
- * Memo table from an instruction's token sequence to its token-level
- * LSTM hidden state, for batched inference over *frozen* weights
- * (Model::predictBatch): with the weights fixed, that hidden state
- * is a pure function of the token sequence, so instructions shared
- * across blocks — pervasive in real block corpora — skip the token
- * LSTM entirely on every reuse. Reuse is bit-exact: the stored
- * vector is the exact value the executor produced (f32 hiddens
- * round-trip through double losslessly).
+ * Memo table from an instruction's interned id (isa::InstId) to its
+ * token-level LSTM hidden state, for batched inference over *frozen*
+ * weights (Model::predictBatch): with the weights fixed, that hidden
+ * state is a pure function of the token sequence, and an InstId
+ * names exactly one canonical token sequence (isa/intern.hh), so
+ * instructions shared across blocks — pervasive in real block
+ * corpora — skip the token LSTM entirely on every reuse at the cost
+ * of one u32 hash probe instead of a token-vector hash. Reuse is
+ * bit-exact: the stored vector is the exact value the executor
+ * produced (f32 hiddens round-trip through double losslessly).
  *
  * Bounded: at @p capacity entries the cache stops inserting (no
  * eviction — the instruction vocabulary of a serving workload is
@@ -79,9 +82,7 @@ class InstHiddenCache
     size_t capacity_;
     bool precisionPinned_ = false;
     nn::Precision precision_ = nn::Precision::kF64;
-    std::unordered_map<std::vector<isa::TokenId>,
-                       std::vector<double>, TokenSeqHash>
-        map_;
+    std::unordered_map<isa::InstId, std::vector<double>> map_;
 };
 
 /** Model hyperparameters. */
@@ -133,11 +134,21 @@ class Model
      * @p inst_cache is given, across batches too — valid whenever
      * the weights are frozen between calls, as in serving.
      *
+     * Cross-batch caching is keyed by interned instruction ids:
+     * when @p inst_cache is given, @p inst_ids must be given too
+     * (one id sequence per block, aligned with its instructions,
+     * from the same isa::Interner for the cache's whole lifetime).
+     * Instructions carrying isa::invalidInstId — the interner's
+     * table was full — still deduplicate within the batch by token
+     * sequence; they just never enter the cross-batch cache.
+     *
      * @param inst_params per-block, per-instruction parameter-input
      *        columns (each paramDim x 1); must be empty iff the
      *        config's paramDim is 0
      * @param inst_cache optional cross-batch instruction-hidden
      *        memo table (see InstHiddenCache)
+     * @param inst_ids per-block interned instruction ids (null
+     *        entries allowed per block); required with @p inst_cache
      */
     void predictBatch(
         nn::BatchedForward &bf,
@@ -145,7 +156,9 @@ class Model
         const std::vector<std::vector<const nn::Tensor *>>
             &inst_params,
         std::vector<double> &out,
-        InstHiddenCache *inst_cache = nullptr) const;
+        InstHiddenCache *inst_cache = nullptr,
+        const std::vector<const std::vector<isa::InstId> *>
+            *inst_ids = nullptr) const;
 
     const ModelConfig &config() const { return config_; }
     nn::ParamSet &params() { return params_; }
