@@ -8,10 +8,12 @@
  *       (surrogate model + sampling distribution + learned table).
  *   difftune_serve save-ithemal <uarch> <out.ckpt> [corpus_size]
  *       Train the Ithemal baseline and save a model-only checkpoint.
- *   difftune_serve info <ckpt>
+ *   difftune_serve info <ckpt> [--json]
  *       Print the checkpoint's sections, dimensions, weight
  *       precision and the serving memory footprint (the derived
- *       bytes all workers share through one WeightSnapshot).
+ *       bytes all workers share through one WeightSnapshot),
+ *       followed by the full /statsz telemetry dump of the probe
+ *       (--json renders the dump as JSON).
  *   difftune_serve predict <ckpt> <block.s|->...
  *       Load the checkpoint once and predict each block file's
  *       timing (one result line per file; '-' reads stdin). Printed
@@ -22,13 +24,17 @@
  *       half-size serving-only artifact; see
  *       docs/CHECKPOINT_FORMAT.md for the format-version semantics).
  *   difftune_serve bench <ckpt> [requests] [unique_blocks] [--f32]
- *                        [--threads N]
+ *                        [--threads N] [--json]
  *       Measure cold-load latency, batched-engine vs naive
  *       throughput, cache-counter and shared-snapshot stats on a
  *       skewed synthetic workload; --f32 serves the engine pass in
  *       the accuracy-gated float mode, --threads N adds the
  *       multi-threaded async client mode (N concurrent submitters
- *       vs one synchronous caller, with latency percentiles).
+ *       vs one synchronous caller, with latency percentiles). Ends
+ *       with the full /statsz telemetry dump — per-stage latency
+ *       histograms and the mirrored ServeStats counters (--json
+ *       renders the dump as JSON; DIFFTUNE_OBS_OFF leaves it
+ *       empty).
  *
  * Blocks use the canonical syntax printed by the library, one
  * instruction per line.
@@ -52,6 +58,7 @@
 #include "isa/parse.hh"
 #include "mca/xmca.hh"
 #include "nn/matvec_dispatch.hh"
+#include "obs/export.hh"
 #include "serve/workload.hh"
 
 namespace
@@ -82,6 +89,36 @@ readFileOrStdin(const std::string &path)
         buffer << in.rdbuf();
     }
     return buffer.str();
+}
+
+/**
+ * Dump the global metric registry (info/bench epilogue). The text
+ * form gets a "/statsz" banner; --json prints the bare JSON object
+ * so the output stays machine-parseable.
+ */
+void
+printStatsz(bool json)
+{
+    if (json)
+        std::cout << obs::renderStatszJson() << "\n";
+    else
+        std::cout << "/statsz\n" << obs::renderStatsz();
+}
+
+/** Pull a "--json" flag out of @p argv, compacting the rest. */
+bool
+extractJsonFlag(int &argc, char **argv)
+{
+    bool json = false;
+    int out = 0;
+    for (int i = 0; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json")
+            json = true;
+        else
+            argv[out++] = argv[i];
+    }
+    argc = out;
+    return json;
 }
 
 int
@@ -154,7 +191,8 @@ cmdSaveIthemal(int argc, char **argv)
 int
 cmdInfo(int argc, char **argv)
 {
-    fatal_if(argc < 3, "usage: info <ckpt>");
+    const bool json = extractJsonFlag(argc, argv);
+    fatal_if(argc < 3, "usage: info <ckpt> [--json]");
     io::Checkpoint ckpt = io::loadCheckpoint(argv[2]);
     std::cout << "checkpoint " << argv[2] << " ("
               << std::filesystem::file_size(argv[2]) << " bytes)\n";
@@ -198,6 +236,10 @@ cmdInfo(int argc, char **argv)
                       << stripErrorPrefix(error.what()) << ")\n";
         }
     }
+    // The probe's stage histograms (and the surrogate batch
+    // counters) survive the probe engine; its ServeStats mirrors
+    // were unlinked at destruction.
+    printStatsz(json);
     return 0;
 }
 
@@ -242,11 +284,14 @@ int
 cmdBench(int argc, char **argv)
 {
     bool f32 = false;
+    bool json = false;
     int threads = 0;
     std::vector<char *> args;
     for (int i = 0; i < argc; ++i) {
         if (std::string(argv[i]) == "--f32") {
             f32 = true;
+        } else if (std::string(argv[i]) == "--json") {
+            json = true;
         } else if (std::string(argv[i]) == "--threads") {
             fatal_if(i + 1 >= argc, "--threads needs a count");
             threads = std::stoi(argv[++i]);
@@ -255,8 +300,9 @@ cmdBench(int argc, char **argv)
             args.push_back(argv[i]);
         }
     }
-    fatal_if(args.size() < 3, "usage: bench <ckpt> [requests] "
-                              "[unique] [--f32] [--threads N]");
+    fatal_if(args.size() < 3,
+             "usage: bench <ckpt> [requests] [unique] [--f32] "
+             "[--threads N] [--json]");
     const std::string path = args[2];
     const size_t requests =
         args.size() > 3 ? std::stoul(args[3]) : 4000;
@@ -347,6 +393,7 @@ cmdBench(int argc, char **argv)
             << fmtDouble(clients.latency.p95 * 1e6, 0) << "/"
             << fmtDouble(clients.latency.p99 * 1e6, 0) << " us)\n";
     }
+    printStatsz(json);
     return 0;
 }
 

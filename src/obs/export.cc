@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Implementation of the statsz text and JSON exporters.
+ */
+
+#include "obs/export.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace difftune::obs
+{
+
+namespace
+{
+
+/** One-decimal fixed formatting shared by both renders. */
+std::string
+fmt1(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f", value);
+    return buf;
+}
+
+struct HistogramFields
+{
+    uint64_t count;
+    uint64_t sum;
+    double mean, p50, p90, p95, p99, max;
+};
+
+HistogramFields
+fields(const HistogramSnapshot &hist)
+{
+    HistogramFields f;
+    f.count = hist.count();
+    f.sum = hist.sum;
+    f.mean = hist.mean();
+    f.p50 = hist.percentile(0.50);
+    f.p90 = hist.percentile(0.90);
+    f.p95 = hist.percentile(0.95);
+    f.p99 = hist.percentile(0.99);
+    f.max = hist.maxEstimate();
+    return f;
+}
+
+} // namespace
+
+std::string
+renderStatsz(const MetricRegistry &registry)
+{
+    std::string out;
+    for (const MetricRegistry::Sample &s : registry.samples()) {
+        switch (s.kind) {
+        case MetricKind::kCounter:
+        case MetricKind::kLinkedCounter:
+            out += "counter " + s.name + " " +
+                   std::to_string(s.counterValue) + "\n";
+            break;
+        case MetricKind::kGauge:
+            out += "gauge " + s.name + " " +
+                   std::to_string(s.gaugeValue) + "\n";
+            break;
+        case MetricKind::kHistogram: {
+            const HistogramFields f = fields(s.hist);
+            out += "histogram " + s.name + " count " +
+                   std::to_string(f.count) + " sum " +
+                   std::to_string(f.sum) + " mean " + fmt1(f.mean) +
+                   " p50 " + fmt1(f.p50) + " p90 " + fmt1(f.p90) +
+                   " p95 " + fmt1(f.p95) + " p99 " + fmt1(f.p99) +
+                   " max " + fmt1(f.max) + "\n";
+            break;
+        }
+        }
+    }
+    return out;
+}
+
+std::string
+renderStatszJson(const MetricRegistry &registry)
+{
+    // samples() is sorted by name, and the three sections are each
+    // emitted in that order, so the render is deterministic.
+    std::string counters, gauges, histograms;
+    for (const MetricRegistry::Sample &s : registry.samples()) {
+        switch (s.kind) {
+        case MetricKind::kCounter:
+        case MetricKind::kLinkedCounter:
+            if (!counters.empty())
+                counters += ",";
+            counters += "\"" + s.name +
+                        "\":" + std::to_string(s.counterValue);
+            break;
+        case MetricKind::kGauge:
+            if (!gauges.empty())
+                gauges += ",";
+            gauges +=
+                "\"" + s.name + "\":" + std::to_string(s.gaugeValue);
+            break;
+        case MetricKind::kHistogram: {
+            const HistogramFields f = fields(s.hist);
+            if (!histograms.empty())
+                histograms += ",";
+            histograms += "\"" + s.name + "\":{\"count\":" +
+                          std::to_string(f.count) + ",\"sum\":" +
+                          std::to_string(f.sum) + ",\"mean\":" +
+                          fmt1(f.mean) + ",\"p50\":" + fmt1(f.p50) +
+                          ",\"p90\":" + fmt1(f.p90) + ",\"p95\":" +
+                          fmt1(f.p95) + ",\"p99\":" + fmt1(f.p99) +
+                          ",\"max\":" + fmt1(f.max) + "}";
+            break;
+        }
+        }
+    }
+    return "{\"counters\":{" + counters + "},\"gauges\":{" + gauges +
+           "},\"histograms\":{" + histograms + "}}";
+}
+
+std::optional<uint64_t>
+statszCounter(const std::string &dump, const std::string &name)
+{
+    const std::string needle = "counter " + name + " ";
+    size_t at = 0;
+    while (at < dump.size()) {
+        const size_t hit = dump.find(needle, at);
+        if (hit == std::string::npos)
+            return std::nullopt;
+        // Only accept line-anchored matches (a name that is a
+        // suffix of another name cannot alias it: the "counter "
+        // keyword must start the line).
+        if (hit == 0 || dump[hit - 1] == '\n') {
+            uint64_t value = 0;
+            const char *text = dump.c_str() + hit + needle.size();
+            if (std::sscanf(text, "%" SCNu64, &value) == 1)
+                return value;
+            return std::nullopt;
+        }
+        at = hit + 1;
+    }
+    return std::nullopt;
+}
+
+} // namespace difftune::obs

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Metric exporters: the /statsz-style text dump and its
+ * machine-readable JSON variant.
+ *
+ * # Text format (one metric per line, names sorted)
+ *
+ *   counter <name> <value>
+ *   gauge <name> <value>
+ *   histogram <name> count <n> sum <s> mean <m> p50 <v> p90 <v> \
+ *       p95 <v> p99 <v> max <v>
+ *
+ * Histogram fields are in the histogram's recorded unit (the serving
+ * pipeline records nanoseconds; such names end in "_ns"); mean/pXX/
+ * max print with one decimal. Counter values mirrored from
+ * serve::ServeStats reconcile exactly on a quiescent engine:
+ * requests == text_hits + text_misses == hits + misses (see
+ * docs/OBSERVABILITY.md; bench_serve asserts it on every run by
+ * parsing its own dump with statszCounter()).
+ *
+ * # JSON variant
+ *
+ *   {"counters":{...},"gauges":{...},
+ *    "histograms":{"<name>":{"count":...,"sum":...,"mean":...,
+ *                            "p50":...,"p90":...,"p95":...,
+ *                            "p99":...,"max":...}}}
+ *
+ * Keys are sorted; names never need escaping (the registry
+ * restricts them to [A-Za-z0-9._-]). Both renders are pure
+ * functions of the registry's current samples().
+ */
+
+#ifndef DIFFTUNE_OBS_EXPORT_HH
+#define DIFFTUNE_OBS_EXPORT_HH
+
+#include <optional>
+#include <string>
+
+#include "obs/metrics.hh"
+
+namespace difftune::obs
+{
+
+/** Render @p registry as the /statsz text dump. */
+std::string renderStatsz(
+    const MetricRegistry &registry = MetricRegistry::global());
+
+/** Render @p registry as the JSON variant. */
+std::string renderStatszJson(
+    const MetricRegistry &registry = MetricRegistry::global());
+
+/**
+ * Extract a counter's value back out of a renderStatsz() dump —
+ * lets gates audit the dump itself rather than the registry behind
+ * it (bench_serve's reconciliation check). nullopt when @p name has
+ * no counter line in @p dump.
+ */
+std::optional<uint64_t> statszCounter(const std::string &dump,
+                                      const std::string &name);
+
+} // namespace difftune::obs
+
+#endif // DIFFTUNE_OBS_EXPORT_HH

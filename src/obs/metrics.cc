@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Telemetry core implementation: the enabled switch, histogram
+ * snapshots, and the metric registry.
+ */
+
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "base/logging.hh"
+#include "obs/stage_timer.hh"
+
+#if defined(DIFFTUNE_OBS_HAS_TSC)
+#include <cpuid.h>
+#endif
+
+namespace difftune::obs
+{
+
+namespace detail
+{
+
+FastClock
+calibrateFastClock() noexcept
+{
+    FastClock clock;
+#if defined(DIFFTUNE_OBS_HAS_TSC)
+    if (std::getenv("DIFFTUNE_OBS_NO_TSC") != nullptr)
+        return clock;
+    // Invariant TSC (constant rate across P-states, never stops):
+    // CPUID.80000007H:EDX[8]. Without it ticks are not a clock.
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (!__get_cpuid(0x80000007u, &eax, &ebx, &ecx, &edx) ||
+        (edx & (1u << 8)) == 0)
+        return clock;
+    // Measure ticks-per-ns against steady_clock over ~1 ms — a
+    // window long enough that the two boundary reads' jitter
+    // (~100 ns) is below 0.1% of the span. Runs once, on the first
+    // instrumented span.
+    const uint64_t ns_a = steadyNowNs();
+    const uint64_t tsc_a = __rdtsc();
+    uint64_t ns_b, tsc_b;
+    do {
+        ns_b = steadyNowNs();
+        tsc_b = __rdtsc();
+    } while (ns_b - ns_a < 1000000);
+    if (tsc_b <= tsc_a)
+        return clock; // not usable as a forward clock here
+    clock.nsPerTick = double(ns_b - ns_a) / double(tsc_b - tsc_a);
+    clock.tsc0 = tsc_b;
+    clock.ns0 = ns_b;
+    clock.useTsc = clock.nsPerTick > 0.0;
+#endif
+    return clock;
+}
+
+} // namespace detail
+
+namespace
+{
+
+/** -1 unset, 0 disabled, 1 enabled. */
+std::atomic<int> enabledState{-1};
+
+int
+enabledFromEnv()
+{
+    const char *off = std::getenv("DIFFTUNE_OBS_OFF");
+    const bool disabled =
+        off && *off && !(off[0] == '0' && off[1] == '\0');
+    return disabled ? 0 : 1;
+}
+
+bool
+validMetricName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' ||
+                        c == '_' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    int state = enabledState.load(std::memory_order_acquire);
+    if (state < 0) {
+        state = enabledFromEnv();
+        // Losing this race is harmless: both writers computed the
+        // same value from the same environment.
+        enabledState.store(state, std::memory_order_release);
+    }
+    return state != 0;
+}
+
+void
+setEnabled(bool on)
+{
+    enabledState.store(on ? 1 : 0, std::memory_order_release);
+}
+
+void
+reloadEnabledFromEnv()
+{
+    enabledState.store(enabledFromEnv(), std::memory_order_release);
+}
+
+// ---------------------------------------------------------- histogram
+
+uint64_t
+HistogramSnapshot::count() const
+{
+    uint64_t total = 0;
+    for (const uint64_t c : counts)
+        total += c;
+    return total;
+}
+
+void
+HistogramSnapshot::merge(const HistogramSnapshot &other)
+{
+    if (counts.size() < other.counts.size())
+        counts.resize(other.counts.size(), 0);
+    for (size_t i = 0; i < other.counts.size(); ++i)
+        counts[i] += other.counts[i];
+    sum += other.sum;
+}
+
+double
+HistogramSnapshot::percentile(double p) const
+{
+    const uint64_t total = count();
+    if (total == 0)
+        return 0.0;
+    const double clamped = p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+    // Nearest rank: the smallest sample with cumulative count >=
+    // ceil(p * total) (ranks are 1-based; p = 0 means rank 1).
+    uint64_t rank = uint64_t(std::ceil(clamped * double(total)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > total)
+        rank = total;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        seen += counts[i];
+        if (seen >= rank)
+            return LatencyHistogram::bucketMidpoint(i);
+    }
+    return 0.0; // unreachable: seen reaches total
+}
+
+double
+HistogramSnapshot::mean() const
+{
+    const uint64_t total = count();
+    return total == 0 ? 0.0 : double(sum) / double(total);
+}
+
+double
+HistogramSnapshot::maxEstimate() const
+{
+    for (size_t i = counts.size(); i-- > 0;)
+        if (counts[i] != 0)
+            return LatencyHistogram::bucketMidpoint(i);
+    return 0.0;
+}
+
+HistogramSnapshot
+LatencyHistogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    snap.counts.resize(kNumBuckets);
+    for (size_t i = 0; i < kNumBuckets; ++i)
+        snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    return snap;
+}
+
+// ----------------------------------------------------------- registry
+
+MetricRegistry &
+MetricRegistry::global()
+{
+    static MetricRegistry registry;
+    return registry;
+}
+
+MetricRegistry::Slot &
+MetricRegistry::slot(const std::string &name, MetricKind kind)
+{
+    // Caller holds mutex_.
+    fatal_if(!validMetricName(name),
+             "invalid metric name '{}' (want [A-Za-z0-9._-]+)", name);
+    auto [it, fresh] = slots_.try_emplace(name);
+    if (!fresh) {
+        fatal_if(it->second.kind != kind,
+                 "metric '{}' already registered with a different "
+                 "kind",
+                 name);
+        return it->second;
+    }
+    it->second.kind = kind;
+    switch (kind) {
+    case MetricKind::kCounter:
+        it->second.counter = std::make_unique<Counter>();
+        break;
+    case MetricKind::kGauge:
+        it->second.gauge = std::make_unique<Gauge>();
+        break;
+    case MetricKind::kHistogram:
+        it->second.histogram = std::make_unique<LatencyHistogram>();
+        break;
+    case MetricKind::kLinkedCounter:
+        break; // linkCounter fills in the source
+    }
+    return it->second;
+}
+
+Counter &
+MetricRegistry::counter(const std::string &name)
+{
+    std::lock_guard lock(mutex_);
+    return *slot(name, MetricKind::kCounter).counter;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name)
+{
+    std::lock_guard lock(mutex_);
+    return *slot(name, MetricKind::kGauge).gauge;
+}
+
+LatencyHistogram &
+MetricRegistry::histogram(const std::string &name)
+{
+    std::lock_guard lock(mutex_);
+    return *slot(name, MetricKind::kHistogram).histogram;
+}
+
+void
+MetricRegistry::linkCounter(const std::string &name,
+                            const std::atomic<uint64_t> *source)
+{
+    fatal_if(!source, "linkCounter('{}'): null source", name);
+    std::lock_guard lock(mutex_);
+    fatal_if(slots_.count(name) != 0,
+             "metric '{}' already registered (a second engine must "
+             "use a distinct metric prefix)",
+             name);
+    slot(name, MetricKind::kLinkedCounter).linked = source;
+}
+
+void
+MetricRegistry::unlinkCounters(const std::string &prefix)
+{
+    std::lock_guard lock(mutex_);
+    for (auto it = slots_.begin(); it != slots_.end();) {
+        const bool linked =
+            it->second.kind == MetricKind::kLinkedCounter;
+        if (linked && it->first.rfind(prefix, 0) == 0)
+            it = slots_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+MetricRegistry::unlinkCounter(const std::string &name)
+{
+    std::lock_guard lock(mutex_);
+    const auto it = slots_.find(name);
+    if (it != slots_.end() &&
+        it->second.kind == MetricKind::kLinkedCounter)
+        slots_.erase(it);
+}
+
+std::vector<MetricRegistry::Sample>
+MetricRegistry::samples() const
+{
+    std::vector<Sample> out;
+    {
+        std::lock_guard lock(mutex_);
+        out.reserve(slots_.size());
+        for (const auto &[name, slot] : slots_) {
+            Sample sample;
+            sample.name = name;
+            sample.kind = slot.kind;
+            switch (slot.kind) {
+            case MetricKind::kCounter:
+                sample.counterValue = slot.counter->value();
+                break;
+            case MetricKind::kLinkedCounter:
+                sample.counterValue =
+                    slot.linked->load(std::memory_order_relaxed);
+                break;
+            case MetricKind::kGauge:
+                sample.gaugeValue = slot.gauge->value();
+                break;
+            case MetricKind::kHistogram:
+                sample.hist = slot.histogram->snapshot();
+                break;
+            }
+            out.push_back(std::move(sample));
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Sample &a, const Sample &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+size_t
+MetricRegistry::size() const
+{
+    std::lock_guard lock(mutex_);
+    return slots_.size();
+}
+
+} // namespace difftune::obs

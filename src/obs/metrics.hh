@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Serving telemetry core: a process-wide registry of named,
+ * label-free metrics — monotonic Counter, Gauge, and a lock-free
+ * log-bucketed LatencyHistogram — cheap enough to leave compiled in
+ * on every serving hot path.
+ *
+ * # Design
+ *
+ * - **Hot path is wait-free.** Counter::inc, Gauge::set and
+ *   LatencyHistogram::record are a handful of relaxed atomic
+ *   operations on cache-resident state; no locks, no allocation.
+ *   Callers resolve a metric by name once (engine construction) and
+ *   keep the reference — name lookup itself takes the registry
+ *   mutex, but only at registration/render time, never per record.
+ *
+ * - **Metrics are immortal.** A reference returned by
+ *   MetricRegistry::counter/gauge/histogram stays valid for the
+ *   registry's whole lifetime (slots are never destroyed), so hot
+ *   paths need no lifetime handshake. The one exception is
+ *   *linked* counters — external atomics mirrored into the registry
+ *   by linkCounter (the ServeStats contract, see
+ *   serve/async_engine.hh) — whose owner must unlinkCounters before
+ *   the storage dies.
+ *
+ * - **Kill switch.** obs::enabled() is false when DIFFTUNE_OBS_OFF
+ *   is set (to anything but "0"/empty); instrumented subsystems
+ *   check it once at construction and degrade to no-ops (null
+ *   metric pointers — see obs/stage_timer.hh).
+ *
+ * # Histogram error bound
+ *
+ * LatencyHistogram buckets are log-spaced with 8 sub-buckets per
+ * octave (bound ratio between 16/15 and 9/8, geometric mean ~1.08)
+ * over [0 ns, ~137 s], with exact unit buckets below 16 ns; larger
+ * values clamp into the top bucket. percentile() returns the
+ * arithmetic midpoint of the bucket holding the nearest-rank
+ * sample, so any percentile estimate is within
+ * kMaxRelativeError = 1/16 = 6.25% of the exact order statistic
+ * (exact below 16 ns) — asserted against a sorted-vector reference
+ * in tests/test_obs.cc. See docs/OBSERVABILITY.md.
+ */
+
+#ifndef DIFFTUNE_OBS_METRICS_HH
+#define DIFFTUNE_OBS_METRICS_HH
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace difftune::obs
+{
+
+/**
+ * Global telemetry switch: true unless the DIFFTUNE_OBS_OFF
+ * environment variable is set (read once, on first call).
+ * Subsystems sample it at construction; flipping it later only
+ * affects instrumentation constructed afterwards.
+ */
+bool enabled();
+
+/** Override the switch (tests, benches measuring their own overhead). */
+void setEnabled(bool on);
+
+/** Re-read DIFFTUNE_OBS_OFF, discarding any override (tests). */
+void reloadEnabledFromEnv();
+
+/** Monotonic counter. All operations are wait-free and relaxed. */
+class Counter
+{
+  public:
+    void
+    inc(uint64_t n = 1) noexcept
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const noexcept
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Instantaneous level (queue depth, resident entries). Wait-free. */
+class Gauge
+{
+  public:
+    void
+    set(int64_t v) noexcept
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    void
+    add(int64_t d) noexcept
+    {
+        value_.fetch_add(d, std::memory_order_relaxed);
+    }
+
+    int64_t
+    value() const noexcept
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<int64_t> value_{0};
+};
+
+class LatencyHistogram;
+
+/**
+ * A consistent-enough copy of a histogram's state: counts read
+ * individually (relaxed) while writers may still be recording, so a
+ * snapshot taken concurrently is approximate; quiesce writers first
+ * when exact totals matter. Snapshots merge associatively and
+ * commutatively (pure element-wise addition).
+ */
+struct HistogramSnapshot
+{
+    std::vector<uint64_t> counts; ///< per-bucket observation counts
+    uint64_t sum = 0;             ///< sum of recorded values
+
+    /** Total observations (sum over buckets). */
+    uint64_t count() const;
+
+    /** Element-wise accumulate @p other into this snapshot. */
+    void merge(const HistogramSnapshot &other);
+
+    /**
+     * Estimate of the p-quantile (p in [0, 1]) by nearest rank:
+     * the midpoint of the bucket holding sample
+     * ceil(p * count()), within LatencyHistogram::kMaxRelativeError
+     * of the exact order statistic. 0 when empty.
+     */
+    double percentile(double p) const;
+
+    /** Mean of the recorded values (exact; sum/count). 0 if empty. */
+    double mean() const;
+
+    /** Midpoint of the highest non-empty bucket. 0 when empty. */
+    double maxEstimate() const;
+};
+
+/**
+ * Lock-free log-bucketed histogram for nanosecond latencies (or any
+ * non-negative integer quantity). record() is wait-free: one bucket
+ * index computation from the bit pattern plus two relaxed
+ * fetch_adds. See the file comment for the bucket layout and the
+ * 1/16 relative-error bound on percentile estimates.
+ */
+class LatencyHistogram
+{
+  public:
+    /** Sub-bucket resolution: 2^kSubBits buckets per octave. */
+    static constexpr int kSubBits = 3;
+    static constexpr uint64_t kSub = uint64_t(1) << kSubBits;
+    /** Values at or above 2^37 ns (~137 s) clamp into the top. */
+    static constexpr int kClampExp = 36;
+    /** Bucket count: 2*kSub exact unit buckets + 8 per octave. */
+    static constexpr size_t kNumBuckets =
+        2 * kSub + size_t(kClampExp - kSubBits) * kSub;
+    /** Percentile estimates are within this of the exact sample. */
+    static constexpr double kMaxRelativeError = 1.0 / 16.0;
+
+    /** Bucket index of @p value (clamped into range). */
+    static size_t
+    bucketIndex(uint64_t value) noexcept
+    {
+        const uint64_t clamp = (uint64_t(1) << (kClampExp + 1)) - 1;
+        const uint64_t v = value > clamp ? clamp : value;
+        if (v < 2 * kSub)
+            return size_t(v); // exact unit buckets
+        const int exp = std::bit_width(v) - 1; // v in [2^exp, 2^exp+1)
+        const uint64_t sub = (v >> (exp - kSubBits)) & (kSub - 1);
+        return (size_t(exp) - kSubBits + 1) * kSub + size_t(sub);
+    }
+
+    /** Inclusive lower bound of bucket @p index. */
+    static uint64_t
+    bucketLowerBound(size_t index) noexcept
+    {
+        if (index < 2 * kSub)
+            return index;
+        const size_t block = index >> kSubBits;
+        const uint64_t sub = index & (kSub - 1);
+        return (kSub + sub) << (block - 1);
+    }
+
+    /**
+     * The representative value percentile() reports for bucket
+     * @p index: the exact value for unit buckets, the arithmetic
+     * midpoint otherwise.
+     */
+    static double
+    bucketMidpoint(size_t index) noexcept
+    {
+        if (index < 2 * kSub)
+            return double(index);
+        const uint64_t lo = bucketLowerBound(index);
+        const uint64_t width = uint64_t(1) << ((index >> kSubBits) - 1);
+        return double(lo) + 0.5 * double(width);
+    }
+
+    /** Record one observation. Wait-free; any thread. */
+    void
+    record(uint64_t value) noexcept
+    {
+        counts_[bucketIndex(value)].fetch_add(
+            1, std::memory_order_relaxed);
+        sum_.fetch_add(value, std::memory_order_relaxed);
+    }
+
+    /** Record a duration given in seconds (negative clamps to 0). */
+    void
+    recordSeconds(double seconds) noexcept
+    {
+        record(seconds > 0.0 ? uint64_t(seconds * 1e9) : 0);
+    }
+
+    /** Copy out the current state (see HistogramSnapshot). */
+    HistogramSnapshot snapshot() const;
+
+  private:
+    std::atomic<uint64_t> counts_[kNumBuckets] = {};
+    std::atomic<uint64_t> sum_{0};
+};
+
+/** What a registry slot holds. */
+enum class MetricKind
+{
+    kCounter,
+    kGauge,
+    kHistogram,
+    kLinkedCounter, ///< external atomic mirrored by linkCounter
+};
+
+/**
+ * A named collection of metrics. One process-wide instance
+ * (global()) backs the /statsz exporters (obs/export.hh); tests and
+ * embedders may construct private registries (e.g. through
+ * serve::AsyncConfig::registry).
+ *
+ * Names are restricted to [A-Za-z0-9._-] so the statsz line format
+ * stays trivially parseable. Re-requesting a name with the same
+ * kind returns the same object (two engines sharing a prefix share
+ * counters); requesting it with a different kind is fatal().
+ *
+ * Registration and sampling serialize on one mutex; recording on a
+ * resolved metric never takes it.
+ */
+class MetricRegistry
+{
+  public:
+    MetricRegistry() = default;
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    /** The process-wide registry. */
+    static MetricRegistry &global();
+
+    /** Find-or-create. References stay valid for the registry's
+     *  lifetime; fatal() on a kind collision or invalid name. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    LatencyHistogram &histogram(const std::string &name);
+
+    /**
+     * Mirror an externally-owned monotonic counter (e.g. a
+     * serve::ServeStats field) into the registry: renders read
+     * @p source live. fatal() if @p name is taken — a second engine
+     * must use a distinct metric prefix. The owner MUST call
+     * unlinkCounters(prefix) before @p source is destroyed.
+     */
+    void linkCounter(const std::string &name,
+                     const std::atomic<uint64_t> *source);
+
+    /**
+     * Remove every *linked* counter whose name starts with
+     * @p prefix. Owned metrics are never removed (their references
+     * are immortal); after the owner of a linked counter dies, its
+     * remaining owned histograms simply stop updating.
+     */
+    void unlinkCounters(const std::string &prefix);
+
+    /**
+     * Remove exactly the linked counter @p name (no-op if absent or
+     * not a linked counter). For rolling back a partially-applied
+     * link batch without touching another owner's links under the
+     * same prefix.
+     */
+    void unlinkCounter(const std::string &name);
+
+    /** One rendered metric (see samples()). */
+    struct Sample
+    {
+        std::string name;
+        MetricKind kind;
+        uint64_t counterValue = 0; ///< kCounter / kLinkedCounter
+        int64_t gaugeValue = 0;    ///< kGauge
+        HistogramSnapshot hist;    ///< kHistogram
+    };
+
+    /** Snapshot every metric, sorted by name (exporter input). */
+    std::vector<Sample> samples() const;
+
+    size_t size() const;
+
+  private:
+    struct Slot
+    {
+        MetricKind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<LatencyHistogram> histogram;
+        const std::atomic<uint64_t> *linked = nullptr;
+    };
+
+    Slot &slot(const std::string &name, MetricKind kind);
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, Slot> slots_;
+};
+
+} // namespace difftune::obs
+
+#endif // DIFFTUNE_OBS_METRICS_HH

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * RAII stage timers for pipeline instrumentation: one clock read at
+ * each stage boundary plus one wait-free histogram record.
+ *
+ * Both helpers take *pointers* to their histograms and no-op on
+ * null, so an instrumented subsystem that sampled obs::enabled() ==
+ * false at construction (the DIFFTUNE_OBS_OFF kill switch) pays a
+ * single branch per span — no clock read, no record.
+ *
+ * StageTimer spans one region; StageClock chains consecutive stages
+ * so adjacent spans share their boundary clock read (N stages cost
+ * N + 1 reads instead of 2N).
+ *
+ * # The clock
+ *
+ * nowNs() prefers a calibrated TSC read on x86-64 (~8 ns; the same
+ * runtime-dispatch idiom as nn/matvec_dispatch.cc): rdtsc ticks are
+ * mapped to steady_clock nanoseconds through a one-time ~1 ms
+ * calibration on first use. clock_gettime's vDSO path costs ~30 ns
+ * per read on our runners — too much to keep six per-block stage
+ * boundaries inside bench_serve's 5% warm-path overhead gate. The
+ * fallback (non-x86, no invariant TSC, or DIFFTUNE_OBS_NO_TSC set)
+ * is steady_clock. TSC values across *threads* may be skewed by a
+ * few ns, so all consumers subtract through elapsedNs(), which
+ * clamps negative spans to 0 instead of wrapping. See
+ * docs/OBSERVABILITY.md for measured per-span costs.
+ */
+
+#ifndef DIFFTUNE_OBS_STAGE_TIMER_HH
+#define DIFFTUNE_OBS_STAGE_TIMER_HH
+
+#include <chrono>
+
+#include "obs/metrics.hh"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <x86intrin.h>
+#define DIFFTUNE_OBS_HAS_TSC 1
+#endif
+
+namespace difftune::obs
+{
+
+namespace detail
+{
+
+/** Calibration state mapping rdtsc ticks onto steady_clock ns. */
+struct FastClock
+{
+    uint64_t tsc0 = 0;      ///< rdtsc at calibration
+    uint64_t ns0 = 0;       ///< steady_clock ns at calibration
+    double nsPerTick = 0.0; ///< measured over the ~1 ms window
+    bool useTsc = false;    ///< invariant TSC present and allowed
+};
+
+/** One-time calibration (metrics.cc); pure fallback off x86-64. */
+FastClock calibrateFastClock() noexcept;
+
+/** steady_clock in integer nanoseconds (the fallback clock). */
+inline uint64_t
+steadyNowNs() noexcept
+{
+    return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now()
+                            .time_since_epoch())
+                        .count());
+}
+
+inline const FastClock &
+fastClock() noexcept
+{
+    static const FastClock clock = calibrateFastClock();
+    return clock;
+}
+
+} // namespace detail
+
+/** Monotonic now() in integer nanoseconds (see file comment). */
+inline uint64_t
+nowNs() noexcept
+{
+#if defined(DIFFTUNE_OBS_HAS_TSC)
+    const detail::FastClock &clock = detail::fastClock();
+    if (clock.useTsc)
+        return clock.ns0 +
+               uint64_t(double(__rdtsc() - clock.tsc0) *
+                        clock.nsPerTick);
+#endif
+    return detail::steadyNowNs();
+}
+
+/**
+ * end - begin, clamped to 0 when the clock appears to run backwards
+ * (cross-thread TSC skew) so a span can never wrap to a huge value.
+ */
+inline uint64_t
+elapsedNs(uint64_t begin, uint64_t end) noexcept
+{
+    return end > begin ? end - begin : 0;
+}
+
+/**
+ * Records the lifetime of the object into @p hist (nanoseconds).
+ * Null @p hist makes construction and destruction no-ops.
+ */
+class StageTimer
+{
+  public:
+    explicit StageTimer(LatencyHistogram *hist) noexcept
+        : hist_(hist), begin_(hist ? nowNs() : 0)
+    {
+    }
+
+    StageTimer(const StageTimer &) = delete;
+    StageTimer &operator=(const StageTimer &) = delete;
+
+    ~StageTimer() { stop(); }
+
+    /** End the span early (idempotent). @return elapsed ns (0 when
+     *  disabled or already stopped). */
+    uint64_t
+    stop() noexcept
+    {
+        if (!hist_)
+            return 0;
+        const uint64_t elapsed = elapsedNs(begin_, nowNs());
+        hist_->record(elapsed);
+        hist_ = nullptr;
+        return elapsed;
+    }
+
+  private:
+    LatencyHistogram *hist_;
+    uint64_t begin_;
+};
+
+/**
+ * Chained stage laps: lap(hist) records the time since the previous
+ * lap or restart() and starts the next stage at the same instant.
+ * Construction reads no clock — callers MUST restart() before the
+ * first lap of each chain (serveBatch restarts per block), which
+ * keeps a clock constructed outside the hot loop free. Construct
+ * disabled (enabled = false) for a full no-op. Individual null
+ * hists skip the record but still advance the clock, keeping later
+ * laps attributable.
+ */
+class StageClock
+{
+  public:
+    explicit StageClock(bool enabled) noexcept : enabled_(enabled) {}
+
+    /** Restart stage attribution at the current instant. */
+    void
+    restart() noexcept
+    {
+        if (enabled_)
+            last_ = nowNs();
+    }
+
+    /** Close the current stage into @p hist; begin the next. */
+    void
+    lap(LatencyHistogram *hist) noexcept
+    {
+        if (!enabled_)
+            return;
+        const uint64_t now = nowNs();
+        if (hist)
+            hist->record(elapsedNs(last_, now));
+        last_ = now;
+    }
+
+    bool on() const noexcept { return enabled_; }
+
+  private:
+    bool enabled_;
+    uint64_t last_ = 0;
+};
+
+} // namespace difftune::obs
+
+#endif // DIFFTUNE_OBS_STAGE_TIMER_HH

@@ -22,6 +22,7 @@
 #include "base/parallel.hh"
 #include "core/raw_table.hh"
 #include "isa/parse.hh"
+#include "obs/stage_timer.hh"
 
 namespace difftune::serve
 {
@@ -111,6 +112,79 @@ AsyncEngine::AsyncEngine(io::ModelSnapshot artifact,
         shards_.back().batched = std::make_unique<nn::BatchedForward>(
             snapshot_, precision_);
     }
+
+    registerMetrics();
+}
+
+void
+AsyncEngine::registerMetrics()
+{
+    // The kill switch: with DIFFTUNE_OBS_OFF set (or setEnabled
+    // false) every stage pointer stays null and the spans below
+    // degrade to single branches — no clock reads, no records, no
+    // registry entries. Sampled once here; the engine's lifetime
+    // pins the answer.
+    if (!obs::enabled())
+        return;
+    static std::atomic<uint64_t> nextEngineId{0};
+    metricPrefix_ =
+        config_.metricPrefix.empty()
+            ? "serve.engine" + std::to_string(nextEngineId.fetch_add(
+                                   1, std::memory_order_relaxed))
+            : config_.metricPrefix;
+    registry_ = config_.registry ? config_.registry
+                                 : &obs::MetricRegistry::global();
+    const std::string p = metricPrefix_ + ".";
+    std::vector<std::string> linked;
+    try {
+        // ServeStats mirrors: the registry reads the live atomics
+        // (no second copy to drift); ~AsyncEngine unlinks them.
+        const std::pair<const char *, const std::atomic<uint64_t> *>
+            mirrors[] = {
+                {"requests", &stats_.requests},
+                {"text_hits", &stats_.textHits},
+                {"text_misses", &stats_.textMisses},
+                {"hits", &stats_.hits},
+                {"misses", &stats_.misses},
+                {"forwards", &stats_.forwards},
+                {"batches", &stats_.batches},
+                {"intern_hits", &stats_.internHits},
+                {"encode_hits", &stats_.encodeHits},
+            };
+        for (const auto &[field, source] : mirrors) {
+            registry_->linkCounter(p + field, source);
+            linked.push_back(p + field);
+        }
+        // Registry-owned stage instrumentation (immortal; engines
+        // reusing an explicit prefix sequentially accumulate into
+        // the same histograms).
+        stage_.request = &registry_->histogram(p + "request_ns");
+        stage_.parse = &registry_->histogram(p + "stage.parse_ns");
+        stage_.intern = &registry_->histogram(p + "stage.intern_ns");
+        stage_.predCache =
+            &registry_->histogram(p + "stage.pred_cache_ns");
+        stage_.encode = &registry_->histogram(p + "stage.encode_ns");
+        stage_.forward =
+            &registry_->histogram(p + "stage.forward_ns");
+        stage_.queueWait =
+            &registry_->histogram(p + "stage.queue_wait_ns");
+        stage_.coalesce =
+            &registry_->histogram(p + "stage.coalesce_ns");
+        stage_.batchSize =
+            &registry_->histogram(p + "batch_size");
+        stage_.queueDepth = &registry_->gauge(p + "queue_depth");
+    } catch (...) {
+        // A prefix collision (two live engines sharing a prefix)
+        // aborts construction; drop exactly the links THIS call
+        // made — a prefix-wide unlink would tear down the other
+        // live engine's mirrors — so no dangling ServeStats
+        // pointer survives this engine.
+        for (const std::string &name : linked)
+            registry_->unlinkCounter(name);
+        stage_ = {};
+        registry_ = nullptr;
+        throw;
+    }
 }
 
 AsyncEngine::AsyncEngine(io::Checkpoint checkpoint, AsyncConfig config)
@@ -135,6 +209,10 @@ AsyncEngine::loadFromFile(const std::string &path, AsyncConfig config)
 AsyncEngine::~AsyncEngine()
 {
     shutdown();
+    // The registry must stop reading this engine's ServeStats before
+    // the struct dies; the stage histograms stay behind, frozen.
+    if (registry_)
+        registry_->unlinkCounters(metricPrefix_ + ".");
 }
 
 void
@@ -192,8 +270,11 @@ AsyncEngine::submit(std::string block_text)
             ++stats_.misses;
             fatal("submit on a shut-down AsyncEngine");
         }
-        queue_.push_back(
-            Pending{std::move(block_text), std::move(promise)});
+        queue_.push_back(Pending{std::move(block_text),
+                                 std::move(promise),
+                                 stage_.on() ? obs::nowNs() : 0});
+        if (stage_.on())
+            stage_.queueDepth->set(int64_t(queue_.size()));
         ensureDispatcherLocked();
     }
     queueCv_.notify_one();
@@ -208,6 +289,9 @@ AsyncEngine::submitAll(std::vector<std::string> block_texts)
     std::vector<std::future<double>> futures;
     futures.reserve(block_texts.size());
     std::vector<Pending> fresh;
+    // One timestamp for the whole group: the members enqueue
+    // together, and one clock read keeps the intake loop cheap.
+    const uint64_t enqueued = stage_.on() ? obs::nowNs() : 0;
     for (std::string &text : block_texts) {
         std::promise<double> promise;
         futures.push_back(promise.get_future());
@@ -215,7 +299,8 @@ AsyncEngine::submitAll(std::vector<std::string> block_texts)
             promise.set_value(*hit);
             continue;
         }
-        fresh.push_back(Pending{std::move(text), std::move(promise)});
+        fresh.push_back(
+            Pending{std::move(text), std::move(promise), enqueued});
     }
     if (!fresh.empty()) {
         {
@@ -226,6 +311,8 @@ AsyncEngine::submitAll(std::vector<std::string> block_texts)
             }
             for (Pending &pending : fresh)
                 queue_.push_back(std::move(pending));
+            if (stage_.on())
+                stage_.queueDepth->set(int64_t(queue_.size()));
             // The whole group is already here: let the dispatcher
             // skip the coalescing wait.
             ++flushes_;
@@ -238,13 +325,24 @@ AsyncEngine::submitAll(std::vector<std::string> block_texts)
 
 // ----------------------------------------------------------- sync calls
 
+bool
+AsyncEngine::sampleTick()
+{
+    return stage_.on() &&
+           stageSampleTick_.fetch_add(1, std::memory_order_relaxed) %
+                   kStageSamplePeriod ==
+               0;
+}
+
 double
 AsyncEngine::predict(const std::string &block_text)
 {
+    const bool sampled = sampleTick();
+    obs::StageTimer span(sampled ? stage_.request : nullptr);
     if (std::optional<double> hit = frontProbe(block_text))
         return *hit;
     const std::vector<const std::string *> one{&block_text};
-    std::vector<Outcome> outcomes = serveBatch(one);
+    std::vector<Outcome> outcomes = serveBatch(one, sampled);
     if (outcomes[0].error)
         std::rethrow_exception(outcomes[0].error);
     return outcomes[0].value;
@@ -253,6 +351,10 @@ AsyncEngine::predict(const std::string &block_text)
 std::vector<double>
 AsyncEngine::predictAll(const std::vector<std::string> &block_texts)
 {
+    // Every request in the group completes when this call returns,
+    // so the call span is each one's end-to-end latency: one pair of
+    // clock reads, recorded once per request.
+    const uint64_t begin = stage_.on() ? obs::nowNs() : 0;
     std::vector<double> results(block_texts.size(), 0.0);
     std::vector<uint32_t> unresolved;
     std::vector<const std::string *> todo;
@@ -265,12 +367,17 @@ AsyncEngine::predictAll(const std::vector<std::string> &block_texts)
         }
     }
     if (!todo.empty()) {
-        std::vector<Outcome> outcomes = serveBatch(todo);
+        std::vector<Outcome> outcomes = serveBatch(todo, sampleTick());
         for (size_t j = 0; j < outcomes.size(); ++j) {
             if (outcomes[j].error)
                 std::rethrow_exception(outcomes[j].error);
             results[unresolved[j]] = outcomes[j].value;
         }
+    }
+    if (stage_.on() && !block_texts.empty()) {
+        const uint64_t elapsed = obs::elapsedNs(begin, obs::nowNs());
+        for (size_t i = 0; i < block_texts.size(); ++i)
+            stage_.request->record(elapsed);
     }
     return results;
 }
@@ -278,6 +385,7 @@ AsyncEngine::predictAll(const std::vector<std::string> &block_texts)
 double
 AsyncEngine::predictBlock(const isa::BasicBlock &block)
 {
+    obs::StageTimer span(sampleTick() ? stage_.request : nullptr);
     ++stats_.requests;
     ++stats_.textMisses; // this entry point bypasses the text cache
     fatal_if(block.empty(), "cannot predict an empty block");
@@ -319,10 +427,15 @@ AsyncEngine::predictBlock(const isa::BasicBlock &block)
 // ----------------------------------------------------------- batch core
 
 std::vector<AsyncEngine::Outcome>
-AsyncEngine::serveBatch(const std::vector<const std::string *> &texts)
+AsyncEngine::serveBatch(const std::vector<const std::string *> &texts,
+                        bool sample_laps)
 {
     std::lock_guard lock(batchMutex_);
     ++stats_.batches;
+    // Chained laps: each stage boundary is one clock read shared
+    // with the next stage (N stages cost N+1 reads, not 2N), and
+    // only sampled calls (see kStageSamplePeriod) record laps.
+    obs::StageClock clk(sample_laps);
     std::vector<Outcome> outcomes(texts.size());
     std::vector<Miss> misses;
     std::vector<uint32_t> parsed; ///< slots to publish to textCache_
@@ -353,6 +466,7 @@ AsyncEngine::serveBatch(const std::vector<const std::string *> &texts)
             raw_dups.emplace_back(uint32_t(i), first->second);
             continue;
         }
+        clk.restart();
         isa::BasicBlock block;
         try {
             block = isa::parseBlock(text);
@@ -364,6 +478,7 @@ AsyncEngine::serveBatch(const std::vector<const std::string *> &texts)
             ++stats_.misses;
             continue;
         }
+        clk.lap(stage_.parse);
         // Resolve the parsed block to its interned canonical id —
         // the key for the prediction and pre-encoded caches. A
         // near-miss spelling of a known block lands on its existing
@@ -372,9 +487,12 @@ AsyncEngine::serveBatch(const std::vector<const std::string *> &texts)
         const isa::BlockId id = interner_.internBlock(block, known);
         if (known)
             ++stats_.internHits;
+        clk.lap(stage_.intern);
         parsed.push_back(uint32_t(i));
         if (id != isa::invalidBlockId) {
-            if (std::optional<double> hit = cache_.get(id)) {
+            std::optional<double> hit = cache_.get(id);
+            clk.lap(stage_.predCache);
+            if (hit) {
                 ++stats_.hits;
                 outcomes[i].value = *hit;
                 continue;
@@ -405,10 +523,14 @@ AsyncEngine::serveBatch(const std::vector<const std::string *> &texts)
     // workers), and each lane's arithmetic is independent, so
     // results do not depend on the worker count or the batch
     // composition.
-    parallelShards(misses.size(), workers_,
-                   [&](size_t lo, size_t hi, int shard) {
-                       forwardMissBatch(shard, misses, lo, hi);
-                   });
+    {
+        obs::StageTimer forward_span(
+            misses.empty() ? nullptr : stage_.forward);
+        parallelShards(misses.size(), workers_,
+                       [&](size_t lo, size_t hi, int shard) {
+                           forwardMissBatch(shard, misses, lo, hi);
+                       });
+    }
 
     // Publish in deterministic (batch) order.
     for (Miss &miss : misses) {
@@ -446,6 +568,9 @@ AsyncEngine::forwardMissBatch(int shard, std::vector<Miss> &misses,
     inst_ids.reserve(count);
     for (size_t m = lo; m < hi; ++m) {
         const Miss &miss = misses[m];
+        // Per-miss encoded-lane acquisition span; shard threads
+        // record concurrently (record() is wait-free).
+        obs::StageTimer encode_span(stage_.encode);
         if (miss.id != isa::invalidBlockId) {
             // Pre-encoded cache: the token lanes of an interned
             // block are immutable, so a hit skips the vocabulary
@@ -541,6 +666,17 @@ AsyncEngine::ensureDispatcherLocked()
 void
 AsyncEngine::dispatchLoop()
 {
+    // Async end-to-end latency: submit-time stamp to future
+    // fulfillment, one clock read per micro-batch. (Front-cache hits
+    // resolve inside submit and never reach this histogram.)
+    auto recordRequests = [this](const std::vector<Pending> &batch) {
+        if (!stage_.on())
+            return;
+        const uint64_t now = obs::nowNs();
+        for (const Pending &pending : batch)
+            stage_.request->record(
+                obs::elapsedNs(pending.enqueuedNs, now));
+    };
     std::vector<Pending> batch;
     uint64_t served_flushes = 0;
     while (true) {
@@ -557,6 +693,7 @@ AsyncEngine::dispatchLoop()
             if (!stopping_ && queue_.size() < config_.maxBatch &&
                 served_flushes == flushes_ &&
                 config_.maxWaitMicros > 0) {
+                obs::StageTimer coalesce_span(stage_.coalesce);
                 queueCv_.wait_for(
                     lock,
                     std::chrono::microseconds(config_.maxWaitMicros),
@@ -573,6 +710,14 @@ AsyncEngine::dispatchLoop()
             for (size_t i = 0; i < take; ++i) {
                 batch.push_back(std::move(queue_.front()));
                 queue_.pop_front();
+            }
+            if (stage_.on()) {
+                stage_.queueDepth->set(int64_t(queue_.size()));
+                stage_.batchSize->record(batch.size());
+                const uint64_t now = obs::nowNs();
+                for (const Pending &pending : batch)
+                    stage_.queueWait->record(
+                        obs::elapsedNs(pending.enqueuedNs, now));
             }
             // Only a fully-drained queue re-arms the coalescing
             // wait: a remainder (the tail of an oversized group, or
@@ -592,7 +737,7 @@ AsyncEngine::dispatchLoop()
             texts.push_back(&pending.text);
         std::vector<Outcome> outcomes;
         try {
-            outcomes = serveBatch(texts);
+            outcomes = serveBatch(texts, sampleTick());
         } catch (...) {
             // serveBatch captures per-request errors; anything that
             // still escapes (allocation failure) fails the whole
@@ -600,6 +745,7 @@ AsyncEngine::dispatchLoop()
             for (Pending &pending : batch)
                 pending.promise.set_exception(
                     std::current_exception());
+            recordRequests(batch);
             continue;
         }
         for (size_t i = 0; i < batch.size(); ++i) {
@@ -608,6 +754,7 @@ AsyncEngine::dispatchLoop()
             else
                 batch[i].promise.set_value(outcomes[i].value);
         }
+        recordRequests(batch);
     }
 }
 

@@ -68,6 +68,7 @@
 
 #include "io/snapshot.hh"
 #include "isa/intern.hh"
+#include "obs/metrics.hh"
 #include "serve/sharded_cache.hh"
 
 namespace difftune::serve
@@ -108,6 +109,24 @@ struct AsyncConfig
      * caching (correct, just unmemoized).
      */
     size_t internCapacity = 0;
+    /**
+     * Telemetry name prefix (docs/OBSERVABILITY.md): every metric
+     * this engine registers — the mirrored ServeStats counters, the
+     * per-stage latency histograms, the queue gauges — is named
+     * "<metricPrefix>.<metric>", so multiple engines/models in one
+     * process stay distinguishable in a single /statsz dump. Empty
+     * selects a unique "serve.engine<N>" automatically. Two live
+     * engines must not share a prefix (fatal at construction).
+     */
+    std::string metricPrefix;
+    /**
+     * Registry the engine's metrics register in (null: the
+     * process-wide obs::MetricRegistry::global()). Tests point this
+     * at a private registry for isolated golden dumps. Ignored —
+     * like all telemetry — when obs::enabled() is false at
+     * construction (the DIFFTUNE_OBS_OFF kill switch).
+     */
+    obs::MetricRegistry *registry = nullptr;
 };
 
 /**
@@ -115,6 +134,21 @@ struct AsyncConfig
  * at any time; a concurrent reader sees each counter individually
  * consistent (sums across counters may be mid-update unless the
  * engine is quiescent).
+ *
+ * Not engine-private: unless telemetry is disabled
+ * (DIFFTUNE_OBS_OFF), every counter here is mirrored live into the
+ * engine's obs::MetricRegistry under its metric prefix
+ * ("<prefix>.requests", "<prefix>.text_hits", ...), so a /statsz
+ * dump (obs::renderStatsz) reports them next to the per-stage
+ * latency histograms. On a quiescent engine the mirrored values
+ * reconcile exactly:
+ *
+ *   requests == text_hits + text_misses == hits + misses
+ *
+ * with intern_hits/encode_hits (and forwards/batches) outside that
+ * invariant, as documented per field. The mirror reads this struct
+ * directly (no second copy to drift); the engine unlinks it at
+ * destruction. See docs/OBSERVABILITY.md.
  */
 struct ServeStats
 {
@@ -245,6 +279,12 @@ class AsyncEngine
     const AsyncConfig &config() const { return config_; }
     /** The engine's interned canonical tables (sizes/footprint). */
     const isa::Interner &interner() const { return interner_; }
+    /**
+     * The telemetry name prefix this engine registered under
+     * (config or auto-assigned), or empty when telemetry was
+     * disabled at construction.
+     */
+    const std::string &metricPrefix() const { return metricPrefix_; }
 
     /**
      * Bytes of weight-derived state this engine shares through its
@@ -266,6 +306,9 @@ class AsyncEngine
     {
         std::string text;
         std::promise<double> promise;
+        /** Enqueue instant (0 with telemetry off): the dispatcher
+         *  records queue-wait and end-to-end spans from it. */
+        uint64_t enqueuedNs = 0;
     };
 
     /** Per-request result of a served batch. */
@@ -297,9 +340,12 @@ class AsyncEngine
      * dedup, parse, canonical-cache probe, shard fan-out over the
      * misses, cache publish. Takes batchMutex_. Outcomes align with
      * @p texts; per-request errors land in Outcome::error.
+     * @p sample_laps (from sampleTick()) turns the per-block stage
+     * laps on for this call.
      */
     std::vector<Outcome>
-    serveBatch(const std::vector<const std::string *> &texts);
+    serveBatch(const std::vector<const std::string *> &texts,
+               bool sample_laps);
 
     /**
      * Run misses [lo, hi) through shard @p shard's executor as one
@@ -363,6 +409,55 @@ class AsyncEngine
                     std::shared_ptr<const surrogate::EncodedBlock>>
         encodedCache_;
     ServeStats stats_;
+
+    /**
+     * Per-stage telemetry (docs/OBSERVABILITY.md): registry-owned
+     * histograms/gauges resolved once at construction. All null
+     * when obs::enabled() was false — the StageTimer/StageClock
+     * spans then cost one branch each (the kill-switch contract).
+     * Histogram units are nanoseconds except batchSize (requests
+     * per dispatcher micro-batch).
+     */
+    struct StageMetrics
+    {
+        obs::LatencyHistogram *request = nullptr;   ///< end-to-end
+        obs::LatencyHistogram *parse = nullptr;     ///< tokenize+parse
+        obs::LatencyHistogram *intern = nullptr;    ///< canonical id
+        obs::LatencyHistogram *predCache = nullptr; ///< BlockId probe
+        obs::LatencyHistogram *encode = nullptr;    ///< lane lookup
+        obs::LatencyHistogram *forward = nullptr;   ///< LSTM batch
+        obs::LatencyHistogram *queueWait = nullptr; ///< submit->pop
+        obs::LatencyHistogram *coalesce = nullptr;  ///< batcher wait
+        obs::LatencyHistogram *batchSize = nullptr; ///< reqs/batch
+        obs::Gauge *queueDepth = nullptr;
+
+        bool on() const { return request != nullptr; }
+    };
+
+    /**
+     * Head-based trace sampling for the synchronous hot path: 1 in
+     * this many sync predicts / serveBatch calls records its spans
+     * (request_ns plus the per-block stage laps) — the decision is
+     * made once up front, so a sampled call yields one coherent
+     * trace. A clock read costs ~30 ns on shared runners and the
+     * warm hit path is only a few us, so always-on spans would
+     * blow bench_serve's 5% overhead gate; sampling keeps the
+     * percentiles representative at ~1/8 the cost. Async-submitted
+     * requests are exempt: the dispatcher records every one, since
+     * its clock reads amortize across the popped batch.
+     */
+    static constexpr uint64_t kStageSamplePeriod = 8;
+
+    /** Draw one sampling decision (false when telemetry is off). */
+    bool sampleTick();
+
+    /** Resolve stage_ and mirror stats_ (constructor tail). */
+    void registerMetrics();
+
+    StageMetrics stage_;
+    std::atomic<uint64_t> stageSampleTick_{0};
+    obs::MetricRegistry *registry_ = nullptr;
+    std::string metricPrefix_;
 
     std::mutex queueMutex_;
     std::condition_variable queueCv_;

@@ -9,6 +9,8 @@
 #include <cmath>
 #include <thread>
 
+#include "obs/metrics.hh"
+
 namespace difftune::serve
 {
 
@@ -156,20 +158,22 @@ compareAsyncClients(const io::ModelSnapshot &artifact,
     // batches.
     AsyncEngine engine(artifact, config);
     std::vector<double> served(workload.size(), 0.0);
-    std::vector<std::vector<double>> latencies{size_t(threads)};
+    // All clients record into one wait-free histogram: no per-thread
+    // latency vectors to grow, no O(n log n) sort at the end, and
+    // percentiles carry the histogram's 1/16 relative-error bound.
+    obs::LatencyHistogram latency_hist;
     const auto begin = std::chrono::steady_clock::now();
     std::vector<std::thread> clients;
     clients.reserve(size_t(threads));
     for (int t = 0; t < threads; ++t) {
         clients.emplace_back([&, t] {
-            auto &lat = latencies[size_t(t)];
             for (size_t i = size_t(t); i < workload.size();
                  i += size_t(threads)) {
                 const auto t0 = std::chrono::steady_clock::now();
                 std::future<double> future =
                     engine.submit(workload[i]);
                 served[i] = future.get();
-                lat.push_back(secondsBetween(
+                latency_hist.recordSeconds(secondsBetween(
                     t0, std::chrono::steady_clock::now()));
             }
         });
@@ -182,20 +186,10 @@ compareAsyncClients(const io::ModelSnapshot &artifact,
     for (size_t i = 0; i < workload.size(); ++i)
         checkAgainstReference(reference, i, served[i]);
 
-    std::vector<double> all;
-    for (const auto &lat : latencies)
-        all.insert(all.end(), lat.begin(), lat.end());
-    std::sort(all.begin(), all.end());
-    auto percentile = [&](double p) {
-        if (all.empty())
-            return 0.0;
-        const size_t at = std::min(
-            all.size() - 1, size_t(p * double(all.size() - 1)));
-        return all[at];
-    };
-    result.latency.p50 = percentile(0.50);
-    result.latency.p95 = percentile(0.95);
-    result.latency.p99 = percentile(0.99);
+    const obs::HistogramSnapshot snap = latency_hist.snapshot();
+    result.latency.p50 = snap.percentile(0.50) * 1e-9;
+    result.latency.p95 = snap.percentile(0.95) * 1e-9;
+    result.latency.p99 = snap.percentile(0.99) * 1e-9;
     return result;
 }
 

@@ -81,7 +81,13 @@ compareThroughput(PredictionEngine &engine,
                   const std::vector<std::string> &workload,
                   size_t wave = 250, double rel_tol = 0.0);
 
-/** Request-latency percentiles of an async client run (seconds). */
+/**
+ * Request-latency percentiles of an async client run (seconds).
+ * Estimated from an obs::LatencyHistogram the client threads record
+ * into wait-free (no per-thread latency vectors, no final sort), so
+ * each value is within LatencyHistogram::kMaxRelativeError (6.25%)
+ * of the exact order statistic.
+ */
 struct LatencyStats
 {
     double p50 = 0.0;

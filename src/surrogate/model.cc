@@ -5,8 +5,55 @@
 
 #include "surrogate/model.hh"
 
+#include <algorithm>
+
+#include "obs/metrics.hh"
+
 namespace difftune::surrogate
 {
+
+namespace
+{
+
+/**
+ * Process-wide batched-forward telemetry, resolved from the global
+ * registry on the first batched call (per obs's contract that
+ * instrumentation samples the kill switch when constructed). All
+ * pointers stay null when observability was disabled at that point;
+ * enabled() is still consulted per call so a setEnabled(false) run
+ * measured against an earlier-enabled process stays quiet.
+ */
+struct PredictBatchMetrics
+{
+    obs::Counter *calls = nullptr;
+    obs::Counter *blocks = nullptr;
+    obs::Counter *instCacheHits = nullptr;
+    obs::Counter *tokenLanes = nullptr;
+    obs::LatencyHistogram *width = nullptr;
+};
+
+const PredictBatchMetrics &
+predictBatchMetrics()
+{
+    static const PredictBatchMetrics metrics = [] {
+        PredictBatchMetrics m;
+        if (!obs::enabled())
+            return m;
+        obs::MetricRegistry &reg = obs::MetricRegistry::global();
+        m.calls = &reg.counter("surrogate.predict_batch.calls");
+        m.blocks = &reg.counter("surrogate.predict_batch.blocks");
+        m.instCacheHits =
+            &reg.counter("surrogate.predict_batch.inst_cache_hits");
+        m.tokenLanes =
+            &reg.counter("surrogate.predict_batch.token_lanes");
+        m.width =
+            &reg.histogram("surrogate.predict_batch.width");
+        return m;
+    }();
+    return metrics;
+}
+
+} // namespace
 
 Model::Model(const ModelConfig &config, size_t vocab_size)
     : config_(config)
@@ -195,6 +242,20 @@ Model::predictBatch(
     }
     bf.run(blockLstm_->batchedRef());
     bf.headAll(head_->batchedRef(), out.data());
+
+    // A handful of relaxed atomic bumps per *batch* (not per block):
+    // negligible next to the two LSTM sweeps above. Thread-safe —
+    // concurrent shard executors land on the same counters.
+    const PredictBatchMetrics &m = predictBatchMetrics();
+    if (m.calls != nullptr && obs::enabled()) {
+        m.calls->inc();
+        m.blocks->inc(blocks.size());
+        m.instCacheHits->inc(uint64_t(std::count_if(
+            sources.begin(), sources.end(),
+            [](const InstSrc &src) { return src.cached != nullptr; })));
+        m.tokenLanes->inc(id_lanes.size() + token_lanes.size());
+        m.width->record(blocks.size());
+    }
 }
 
 double
