@@ -37,6 +37,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <bit>
 #include <filesystem>
 #include <thread>
 
@@ -49,6 +50,7 @@
 #include "nn/matvec_dispatch.hh"
 #include "obs/export.hh"
 #include "obs/stage_timer.hh"
+#include "serve/daemon.hh"
 #include "serve/workload.hh"
 #include "surrogate/model.hh"
 
@@ -577,6 +579,61 @@ main(int argc, char **argv)
                         "engines)",
                         std::to_string(snapshot.sharedBytes())});
             std::cout << mem.render();
+
+            // ---- difftuned loopback round trip: the same artifact
+            // served through the daemon's wire protocol. Reported,
+            // not floored (TCP adds latency, not model work) — but
+            // every response is bit-checked against the naive pass
+            // and any error or mismatch fails the run: the process
+            // boundary must not cost a single bit.
+            {
+                serve::DaemonConfig dcfg;
+                dcfg.registry.engine.workers = engine.workers();
+                serve::Daemon daemon(dcfg);
+                daemon.registry().load("bench", artifact);
+                daemon.start();
+                const serve::DaemonClientRun run =
+                    serve::runDaemonClients("127.0.0.1",
+                                            daemon.port(), "bench",
+                                            workload, 2);
+                daemon.drain();
+                size_t mismatches = 0;
+                for (size_t i = 0; i < workload.size(); ++i)
+                    if (std::bit_cast<uint64_t>(
+                            run.predictions[i]) !=
+                        std::bit_cast<uint64_t>(
+                            naive.predictions[i]))
+                        ++mismatches;
+                TextTable dt({"difftuned loopback", "Value",
+                              "Notes"});
+                dt.addRow(
+                    {"throughput",
+                     fmtDouble(double(requests) / run.seconds, 0) +
+                         " blk/s",
+                     "2 connections, wire-framed f64"});
+                dt.addRow({"round-trip p50/p95/p99",
+                           fmtDouble(run.latency.p50 * 1e6, 0) +
+                               " / " +
+                               fmtDouble(run.latency.p95 * 1e6, 0) +
+                               " / " +
+                               fmtDouble(run.latency.p99 * 1e6, 0) +
+                               " us",
+                           "includes TCP framing"});
+                dt.addRow({"errors / bit mismatches",
+                           std::to_string(run.errors) + " / " +
+                               std::to_string(mismatches),
+                           "gate: 0 / 0"});
+                std::cout << dt.render();
+                if (run.errors != 0 || mismatches != 0) {
+                    std::fprintf(stderr,
+                                 "FAIL: difftuned loopback run had "
+                                 "%llu errors, %zu bit "
+                                 "mismatches\n",
+                                 (unsigned long long)run.errors,
+                                 mismatches);
+                    floors_ok = false;
+                }
+            }
 
             const unsigned cores =
                 std::thread::hardware_concurrency();

@@ -254,8 +254,10 @@ AsyncEngine::submit(std::string block_text)
 {
     // Intake closes atomically at shutdown — even for requests the
     // front cache could still answer, so "closed" is unambiguous.
-    fatal_if(stopped_.load(std::memory_order_acquire),
-             "submit on a shut-down AsyncEngine");
+    // Rejection is a catchable EngineStoppedError, never fatal():
+    // the daemon must survive clients racing a drain.
+    if (stopped_.load(std::memory_order_acquire))
+        throw EngineStoppedError();
     std::promise<double> promise;
     std::future<double> future = promise.get_future();
     if (std::optional<double> hit = frontProbe(block_text)) {
@@ -268,7 +270,7 @@ AsyncEngine::submit(std::string block_text)
             // Keep the counters reconciled (hits + misses ==
             // requests) before rejecting.
             ++stats_.misses;
-            fatal("submit on a shut-down AsyncEngine");
+            throw EngineStoppedError();
         }
         queue_.push_back(Pending{std::move(block_text),
                                  std::move(promise),
@@ -284,8 +286,8 @@ AsyncEngine::submit(std::string block_text)
 std::vector<std::future<double>>
 AsyncEngine::submitAll(std::vector<std::string> block_texts)
 {
-    fatal_if(stopped_.load(std::memory_order_acquire),
-             "submitAll on a shut-down AsyncEngine");
+    if (stopped_.load(std::memory_order_acquire))
+        throw EngineStoppedError();
     std::vector<std::future<double>> futures;
     futures.reserve(block_texts.size());
     std::vector<Pending> fresh;
@@ -307,7 +309,7 @@ AsyncEngine::submitAll(std::vector<std::string> block_texts)
             std::lock_guard lock(queueMutex_);
             if (stopping_) {
                 stats_.misses += fresh.size();
-                fatal("submitAll on a shut-down AsyncEngine");
+                throw EngineStoppedError();
             }
             for (Pending &pending : fresh)
                 queue_.push_back(std::move(pending));

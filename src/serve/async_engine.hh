@@ -50,7 +50,11 @@
  *
  * shutdown() (also run by the destructor) stops intake, drains the
  * queue — every already-submitted future still completes — and
- * joins the dispatcher. submit after shutdown throws.
+ * joins the dispatcher. submit after shutdown throws
+ * EngineStoppedError — a catchable rejection, not a process fatal:
+ * a serving daemon must survive a client racing a drain (the
+ * difftuned connection handler turns it into a "draining" wire
+ * status and keeps running).
  */
 
 #ifndef DIFFTUNE_SERVE_ASYNC_ENGINE_HH
@@ -62,6 +66,7 @@
 #include <future>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -174,6 +179,24 @@ struct ServeStats
      * vocabulary encoding. At most one per entry of forwards.
      */
     std::atomic<uint64_t> encodeHits{0};
+};
+
+/**
+ * Thrown by submit/submitAll once shutdown() has closed intake.
+ * Deliberately an ordinary catchable exception (derived from
+ * std::runtime_error, so pre-existing catch sites keep working)
+ * rather than fatal(): a client racing a graceful drain is an
+ * expected serving condition, not a process-ending error — the
+ * daemon answers it with a "draining" status and carries on.
+ */
+class EngineStoppedError : public std::runtime_error
+{
+  public:
+    EngineStoppedError()
+        : std::runtime_error(
+              "AsyncEngine: submit after shutdown (engine draining)")
+    {
+    }
 };
 
 /** Thread-safe micro-batching engine over one frozen snapshot. */

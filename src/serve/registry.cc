@@ -1,0 +1,220 @@
+/**
+ * @file
+ * ModelRegistry implementation.
+ *
+ * Locking: adminMutex_ serializes mutations end to end (including
+ * the expensive engine construction, which must not run twice for
+ * one name concurrently); mapMutex_ guards only the map and is the
+ * single lock acquire() takes. The old engine's shared_ptr is
+ * released *after* mapMutex_ is dropped, so an engine destructor
+ * (which drains and joins) never runs under either lock when the
+ * swap itself holds the last reference.
+ */
+
+#include "serve/registry.hh"
+
+#include <algorithm>
+
+namespace difftune::serve
+{
+
+namespace
+{
+
+bool
+metricSafe(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' ||
+                        c == '_' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+ModelRegistry::ModelRegistry(RegistryConfig config)
+    : config_(std::move(config))
+{
+    fatal_if(!metricSafe(config_.metricRoot),
+             "ModelRegistry metricRoot '{}' is not metric-safe "
+             "([A-Za-z0-9._-])",
+             config_.metricRoot);
+    if (obs::enabled()) {
+        metrics_ = config_.registry ? config_.registry
+                                    : &obs::MetricRegistry::global();
+        const std::string p = config_.metricRoot + ".registry.";
+        loads_ = &metrics_->counter(p + "loads");
+        swapCounter_ = &metrics_->counter(p + "swaps");
+        models_ = &metrics_->gauge(p + "models");
+    }
+}
+
+ModelRegistry::~ModelRegistry() { drain(); }
+
+void
+ModelRegistry::load(const std::string &name,
+                    io::ModelSnapshot artifact)
+{
+    fatal_if(!metricSafe(name),
+             "model name '{}' is not metric-safe ([A-Za-z0-9._-])",
+             name);
+    std::lock_guard admin(adminMutex_);
+    if (draining_)
+        throw UnknownModelError(
+            "ModelRegistry is draining: cannot load '" + name + "'");
+
+    // The incoming generation: one past whatever is serving, so the
+    // new engine's metric prefix never collides with the still-live
+    // (and still-linked) engine it replaces.
+    uint64_t generation = 0;
+    {
+        std::lock_guard lock(mapMutex_);
+        auto it = entries_.find(name);
+        if (it != entries_.end())
+            generation = it->second.generation + 1;
+    }
+
+    // Build the replacement entirely outside mapMutex_: validation,
+    // input-column precompute and shard construction can take
+    // milliseconds, and readers must keep acquiring the old engine
+    // the whole time. A throw here (bad checkpoint) leaves the live
+    // engine untouched — swaps fail closed.
+    AsyncConfig cfg = config_.engine;
+    cfg.metricPrefix = config_.metricRoot + "." + name + ".g" +
+                       std::to_string(generation);
+    cfg.registry = config_.registry;
+    auto engine =
+        std::make_shared<AsyncEngine>(std::move(artifact), cfg);
+
+    std::shared_ptr<AsyncEngine> retired;
+    bool swapped = false;
+    {
+        std::lock_guard lock(mapMutex_);
+        Entry &entry = entries_[name];
+        swapped = entry.engine != nullptr;
+        retired = std::move(entry.engine); // destroyed below, unlocked
+        entry.engine = std::move(engine);
+        entry.generation = generation;
+        if (models_)
+            models_->set(int64_t(entries_.size()));
+    }
+    if (loads_)
+        loads_->inc();
+    if (swapped) {
+        swaps_.fetch_add(1, std::memory_order_relaxed);
+        if (swapCounter_)
+            swapCounter_->inc();
+    }
+    // `retired` (if any) releases here, outside every lock. If this
+    // was the last reference the old engine drains and joins now; if
+    // in-flight requests still hold it, it lives until they finish —
+    // either way no request is dropped.
+}
+
+void
+ModelRegistry::loadFromFile(const std::string &name,
+                            const std::string &path)
+{
+    load(name, io::loadModelSnapshot(path));
+}
+
+std::shared_ptr<AsyncEngine>
+ModelRegistry::find(const std::string &name) const noexcept
+{
+    std::lock_guard lock(mapMutex_);
+    auto it = entries_.find(name);
+    return it == entries_.end() ? nullptr : it->second.engine;
+}
+
+std::shared_ptr<AsyncEngine>
+ModelRegistry::acquire(const std::string &name) const
+{
+    std::shared_ptr<AsyncEngine> engine = find(name);
+    if (!engine) {
+        std::string known;
+        for (const std::string &n : names())
+            known += (known.empty() ? "" : ", ") + n;
+        throw UnknownModelError(
+            "no model '" + name + "' is registered (serving: " +
+            (known.empty() ? std::string("none") : known) + ")");
+    }
+    return engine;
+}
+
+bool
+ModelRegistry::remove(const std::string &name)
+{
+    std::lock_guard admin(adminMutex_);
+    std::shared_ptr<AsyncEngine> retired;
+    {
+        std::lock_guard lock(mapMutex_);
+        auto it = entries_.find(name);
+        if (it == entries_.end())
+            return false;
+        retired = std::move(it->second.engine);
+        entries_.erase(it);
+        if (models_)
+            models_->set(int64_t(entries_.size()));
+    }
+    return true; // `retired` drains outside the locks, as in load()
+}
+
+std::vector<std::string>
+ModelRegistry::names() const
+{
+    std::vector<std::string> out;
+    std::lock_guard lock(mapMutex_);
+    out.reserve(entries_.size());
+    for (const auto &[name, entry] : entries_)
+        out.push_back(name);
+    return out; // std::map iterates sorted
+}
+
+size_t
+ModelRegistry::size() const
+{
+    std::lock_guard lock(mapMutex_);
+    return entries_.size();
+}
+
+uint64_t
+ModelRegistry::swaps() const
+{
+    return swaps_.load(std::memory_order_relaxed);
+}
+
+void
+ModelRegistry::drain()
+{
+    std::lock_guard admin(adminMutex_);
+    draining_ = true;
+    // Engines stay in the map (acquire() keeps resolving; their
+    // submit now throws EngineStoppedError) but stop taking work.
+    // shutdown() returns only once every pending future completed,
+    // so when drain() returns nothing is still owed to any client.
+    std::vector<std::shared_ptr<AsyncEngine>> engines;
+    {
+        std::lock_guard lock(mapMutex_);
+        engines.reserve(entries_.size());
+        for (auto &[name, entry] : entries_)
+            engines.push_back(entry.engine);
+    }
+    for (const auto &engine : engines)
+        engine->shutdown();
+}
+
+bool
+ModelRegistry::draining() const
+{
+    std::lock_guard admin(adminMutex_);
+    return draining_;
+}
+
+} // namespace difftune::serve

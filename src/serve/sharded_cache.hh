@@ -40,6 +40,7 @@ class ShardedLruCache
      * @param stripes lock stripe count (>= 1)
      */
     ShardedLruCache(size_t capacity, int stripes)
+        : capacity_(capacity)
     {
         panic_if(stripes < 1, "ShardedLruCache: {} stripes", stripes);
         panic_if(capacity == 0,
@@ -83,8 +84,22 @@ class ShardedLruCache
         return total;
     }
 
+    /**
+     * The configured total entry budget, exactly as passed to the
+     * constructor (what `difftune_serve info` and sizing math should
+     * report). Enforcement is per stripe — each stripe holds at most
+     * ceil(capacity / stripes) entries — so when capacity does not
+     * divide the stripe count, residency may exceed this budget by
+     * up to stripes - 1 entries; enforcedCapacity() is that hard
+     * bound. (This used to report stripes * per_stripe, overstating
+     * the budget: 10 over 4 stripes reported 12.)
+     */
+    size_t capacity() const { return capacity_; }
+
+    /** The hard residency bound actually enforced:
+     *  stripes * ceil(capacity / stripes) >= capacity(). */
     size_t
-    capacity() const
+    enforcedCapacity() const
     {
         return stripes_.size() * stripes_.front()->cache.capacity();
     }
@@ -113,6 +128,7 @@ class ShardedLruCache
         return *stripes_[size_t(mix % stripes_.size())];
     }
 
+    size_t capacity_; ///< configured budget (see capacity())
     std::vector<std::unique_ptr<Stripe>> stripes_;
     std::hash<Key> hash_;
 };

@@ -6,10 +6,13 @@
 #include "serve/workload.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <limits>
 #include <thread>
 
 #include "obs/metrics.hh"
+#include "serve/daemon.hh"
 
 namespace difftune::serve
 {
@@ -186,11 +189,67 @@ compareAsyncClients(const io::ModelSnapshot &artifact,
     for (size_t i = 0; i < workload.size(); ++i)
         checkAgainstReference(reference, i, served[i]);
 
-    const obs::HistogramSnapshot snap = latency_hist.snapshot();
-    result.latency.p50 = snap.percentile(0.50) * 1e-9;
-    result.latency.p95 = snap.percentile(0.95) * 1e-9;
-    result.latency.p99 = snap.percentile(0.99) * 1e-9;
+    result.latency = latencyFromHistogram(latency_hist);
     return result;
+}
+
+LatencyStats
+latencyFromHistogram(const obs::LatencyHistogram &hist)
+{
+    LatencyStats stats;
+    const obs::HistogramSnapshot snap = hist.snapshot();
+    // An empty workload (or one where every request errored before
+    // being timed) has no order statistics — report explicit zeros
+    // instead of querying percentiles of nothing.
+    if (snap.count() == 0)
+        return stats;
+    stats.p50 = snap.percentile(0.50) * 1e-9;
+    stats.p95 = snap.percentile(0.95) * 1e-9;
+    stats.p99 = snap.percentile(0.99) * 1e-9;
+    return stats;
+}
+
+DaemonClientRun
+runDaemonClients(const std::string &host, uint16_t port,
+                 const std::string &model,
+                 const std::vector<std::string> &workload,
+                 int threads)
+{
+    panic_if(threads < 1, "runDaemonClients: {} threads", threads);
+    DaemonClientRun run;
+    run.predictions.assign(
+        workload.size(), std::numeric_limits<double>::quiet_NaN());
+    std::atomic<uint64_t> errors{0};
+    obs::LatencyHistogram latency_hist;
+
+    const auto begin = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(size_t(threads));
+    for (int t = 0; t < threads; ++t) {
+        clients.emplace_back([&, t] {
+            DaemonClient client(host, port);
+            for (size_t i = size_t(t); i < workload.size();
+                 i += size_t(threads)) {
+                const auto t0 = std::chrono::steady_clock::now();
+                try {
+                    run.predictions[i] =
+                        client.predict(model, workload[i]);
+                } catch (const DaemonError &) {
+                    errors.fetch_add(1, std::memory_order_relaxed);
+                    continue; // slot keeps its NaN marker
+                }
+                latency_hist.recordSeconds(secondsBetween(
+                    t0, std::chrono::steady_clock::now()));
+            }
+        });
+    }
+    for (std::thread &client : clients)
+        client.join();
+    run.seconds =
+        secondsBetween(begin, std::chrono::steady_clock::now());
+    run.errors = errors.load(std::memory_order_relaxed);
+    run.latency = latencyFromHistogram(latency_hist);
+    return run;
 }
 
 } // namespace difftune::serve

@@ -11,6 +11,7 @@
 #include <chrono>
 
 #include "bhive/corpus.hh"
+#include "obs/metrics.hh"
 #include "serve/engine.hh"
 
 namespace difftune::serve
@@ -96,6 +97,15 @@ struct LatencyStats
 };
 
 /**
+ * Percentiles of @p hist converted to seconds, or all zeros when the
+ * histogram recorded no samples: an empty histogram has no order
+ * statistics, and reporting explicit zeros beats asking a snapshot
+ * with count() == 0 for its p99 (callers used to do exactly that —
+ * every latency consumer now goes through this guard).
+ */
+LatencyStats latencyFromHistogram(const obs::LatencyHistogram &hist);
+
+/**
  * Results of compareAsyncClients: a single-caller synchronous pass
  * versus @p threads concurrent client threads submitting through
  * the AsyncEngine micro-batcher. Both passes serve the full
@@ -129,6 +139,34 @@ compareAsyncClients(const io::ModelSnapshot &artifact,
                     const std::vector<std::string> &workload,
                     int threads, const NaiveRun *reference,
                     const AsyncConfig &config = {});
+
+/**
+ * Results of runDaemonClients: one prediction slot per request
+ * (errored requests hold NaN so they can never bit-match a
+ * reference), plus the error count and wall-clock timing.
+ */
+struct DaemonClientRun
+{
+    std::vector<double> predictions; ///< request-indexed; NaN = error
+    uint64_t errors = 0;  ///< requests the daemon answered non-kOk
+    double seconds = 0.0; ///< whole-run wall clock
+    LatencyStats latency; ///< per-request round-trip time
+};
+
+/**
+ * Drive a running difftuned over loopback TCP: @p threads client
+ * connections (one DaemonClient each) split @p workload interleaved
+ * — thread t owns requests t, t + threads, ... — and block on each
+ * response before the next request. The shared harness behind
+ * test_serve_daemon, bench_serve's daemon section and the
+ * `difftuned client` command, so all three measure the same traffic
+ * shape as compareAsyncClients' in-process pass.
+ */
+DaemonClientRun
+runDaemonClients(const std::string &host, uint16_t port,
+                 const std::string &model,
+                 const std::vector<std::string> &workload,
+                 int threads);
 
 } // namespace difftune::serve
 

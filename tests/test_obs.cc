@@ -130,6 +130,23 @@ TEST(LatencyHistogram, SmallValueGoldens)
     EXPECT_DOUBLE_EQ(snap.maxEstimate(), 7.0);
 }
 
+TEST(LatencyHistogram, EmptySnapshotHasSanePercentiles)
+{
+    // Pins the zero-sample contract serving reports rely on
+    // (serve::latencyFromHistogram): an empty snapshot answers 0.0
+    // for every percentile and statistic — no NaN, no UB, no
+    // crash — so a workload where nothing was recorded renders as
+    // zeros rather than garbage.
+    LatencyHistogram hist;
+    const HistogramSnapshot snap = hist.snapshot();
+    EXPECT_EQ(snap.count(), 0u);
+    EXPECT_EQ(snap.sum, 0u);
+    EXPECT_DOUBLE_EQ(snap.mean(), 0.0);
+    for (const double p : {0.0, 0.5, 0.95, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(snap.percentile(p), 0.0) << "p=" << p;
+    EXPECT_DOUBLE_EQ(snap.maxEstimate(), 0.0);
+}
+
 // ------------------------------------------------------ merge algebra
 
 TEST(HistogramSnapshot, MergeIsAssociativeAndMatchesUnion)

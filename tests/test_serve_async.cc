@@ -244,6 +244,27 @@ TEST(AsyncEngine, ShutdownDrainsPendingFutures)
     engine.shutdown();
 }
 
+TEST(AsyncEngine, SubmitAfterShutdownThrowsCatchableError)
+{
+    // Regression: submit/submitAll on a stopped engine used to hit
+    // fatal_if — noisy and indistinguishable from a real invariant
+    // violation. A draining engine is an expected serving state
+    // (difftuned answers it with a "draining" wire status), so both
+    // entry points must throw the dedicated, quiet error type.
+    const auto texts = corpusTexts(4, 0x99);
+    AsyncEngine engine(ithemalCheckpoint());
+    EXPECT_TRUE(sameBits(engine.submit(texts[0]).get(),
+                         engine.predict(texts[0])));
+    engine.shutdown();
+    EXPECT_THROW(engine.submit(texts[0]), EngineStoppedError);
+    EXPECT_THROW(engine.submitAll(texts), EngineStoppedError);
+    // The rejections leave the counters reconciled: requests ==
+    // hits + misses still holds for the lifetime totals.
+    const auto &stats = engine.stats();
+    EXPECT_EQ(stats.requests.load(),
+              stats.hits.load() + stats.misses.load());
+}
+
 TEST(AsyncEngine, ParseErrorsPropagateThroughFutures)
 {
     AsyncEngine engine(ithemalCheckpoint());
@@ -358,6 +379,32 @@ TEST(ShardedLruCacheTest, StripedGetPutAndEviction)
         }
     }
     EXPECT_FALSE(cache.get("never-inserted").has_value());
+}
+
+TEST(ShardedLruCacheTest, CapacityReportsConfiguredBudget)
+{
+    // Regression: capacity() used to return stripes * ceil(cap /
+    // stripes) — 12 for a cache configured with 10 over 4 stripes —
+    // so sizing reports overstated the budget whenever the capacity
+    // didn't divide the stripe count. The configured number and the
+    // per-stripe enforcement bound are now reported separately.
+    ShardedLruCache<std::string, double> cache(10, 4);
+    EXPECT_EQ(cache.capacity(), 10u);
+    EXPECT_EQ(cache.enforcedCapacity(), 12u); // 4 * ceil(10/4)
+    // Residency never exceeds the enforced bound.
+    for (int i = 0; i < 100; ++i)
+        cache.put("key" + std::to_string(i), double(i));
+    EXPECT_LE(cache.size(), cache.enforcedCapacity());
+
+    // Exact division: the two coincide.
+    ShardedLruCache<std::string, double> even(16, 4);
+    EXPECT_EQ(even.capacity(), 16u);
+    EXPECT_EQ(even.enforcedCapacity(), 16u);
+
+    // One stripe degenerates to a plain LRU: both are exact.
+    ShardedLruCache<std::string, double> single(7, 1);
+    EXPECT_EQ(single.capacity(), 7u);
+    EXPECT_EQ(single.enforcedCapacity(), 7u);
 }
 
 TEST(ShardedLruCacheTest, ConcurrentAccessKeepsValuesExact)

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the difftuned serving daemon:
+#
+#   1. save-tiny two checkpoints with different seeds (untrained —
+#      milliseconds — but deterministic and distinct)
+#   2. start difftuned on an ephemeral loopback port
+#   3. drive a few hundred requests from concurrent client threads,
+#      hot-swapping the model mid-run, and audit the daemon's own
+#      /statsz over the wire (zero daemon errors, every engine's
+#      requests == hits + misses)
+#   4. SIGTERM the daemon and require a clean graceful-drain exit 0
+#
+# Usage: daemon_smoke.sh <path-to-difftuned-binary>
+#
+# Run by the daemon.smoke CTest entry and the daemon-smoke CI job.
+set -euo pipefail
+
+DIFFTUNED=${1:?usage: daemon_smoke.sh <difftuned binary>}
+WORKDIR=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "== save-tiny checkpoints"
+"$DIFFTUNED" save-tiny "$WORKDIR/a.ckpt" 5
+"$DIFFTUNED" save-tiny "$WORKDIR/b.ckpt" 9
+
+echo "== start difftuned (ephemeral port)"
+"$DIFFTUNED" serve default="$WORKDIR/a.ckpt" \
+    --port 0 --port-file "$WORKDIR/port.txt" &
+DAEMON_PID=$!
+
+# The port file is written only once the socket is live.
+for _ in $(seq 1 100); do
+    [ -s "$WORKDIR/port.txt" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null ||
+        { echo "FAIL: daemon died before listening"; exit 1; }
+    sleep 0.1
+done
+[ -s "$WORKDIR/port.txt" ] ||
+    { echo "FAIL: no port file after 10s"; exit 1; }
+PORT=$(cat "$WORKDIR/port.txt")
+echo "   port $PORT"
+
+echo "== client: 400 requests, 4 threads, hot-swap mid-run, audit"
+# --check fails the client (exit 1) on any request error or if the
+# daemon's /statsz counters do not reconcile.
+"$DIFFTUNED" client "$PORT" --requests 400 --threads 4 \
+    --swap default="$WORKDIR/b.ckpt" --check
+
+echo "== SIGTERM: graceful drain must exit 0"
+kill -TERM "$DAEMON_PID"
+DRAIN_RC=0
+wait "$DAEMON_PID" || DRAIN_RC=$?
+DAEMON_PID=""
+if [ "$DRAIN_RC" -ne 0 ]; then
+    echo "FAIL: difftuned exited $DRAIN_RC after SIGTERM"
+    exit 1
+fi
+
+echo "daemon smoke OK"
