@@ -200,14 +200,24 @@ cmdClient(int argc, char **argv)
     // threads are mid-run; a short head start makes sure the swap
     // lands against live traffic rather than before or after it.
     std::thread swapper;
+    std::atomic<bool> swap_failed{false};
     if (!swap_arg.empty()) {
         const auto [name, path] = splitModelArg(swap_arg);
-        swapper = std::thread([&host, port, name = name,
-                               path = path] {
+        swapper = std::thread([&host, &swap_failed, port,
+                               name = name, path = path] {
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(50));
-            serve::DaemonClient admin(host, port);
-            admin.load(name, path);
+            // An exception escaping a thread body terminates the
+            // whole client process; a refused connection or bad
+            // checkpoint must fail the run with a message instead.
+            try {
+                serve::DaemonClient admin(host, port);
+                admin.load(name, path);
+            } catch (const std::exception &error) {
+                std::cerr << "hot-swap failed: " << error.what()
+                          << "\n";
+                swap_failed.store(true, std::memory_order_relaxed);
+            }
         });
     }
     const serve::DaemonClientRun run = serve::runDaemonClients(
@@ -223,7 +233,8 @@ cmdClient(int argc, char **argv)
               << fmtDouble(run.latency.p50 * 1e6, 0) << "/"
               << fmtDouble(run.latency.p95 * 1e6, 0) << "/"
               << fmtDouble(run.latency.p99 * 1e6, 0) << " us)\n";
-    bool failed = run.errors != 0;
+    bool failed = run.errors != 0 ||
+                  swap_failed.load(std::memory_order_relaxed);
 
     if (check) {
         // Audit the daemon's own telemetry over the wire: no request

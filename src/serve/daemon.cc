@@ -17,7 +17,6 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -243,6 +242,29 @@ connectTo(const std::string &host, uint16_t port)
     return fd;
 }
 
+/** Checked narrowing for u16 wire length fields: an oversized value
+ *  must throw here, not truncate into a desynced frame the daemon
+ *  then misparses. */
+uint16_t
+u16Length(const std::string &value, const char *what)
+{
+    if (value.size() > 0xffff)
+        throw DaemonError(std::string(what) + " too long (" +
+                          std::to_string(value.size()) +
+                          " bytes; wire limit 65535)");
+    return uint16_t(value.size());
+}
+
+/** Checked narrowing for u32 wire length fields. */
+uint32_t
+u32Length(const std::string &value, const char *what)
+{
+    if (value.size() > 0xffffffffu)
+        throw DaemonError(std::string(what) + " too long (" +
+                          std::to_string(value.size()) + " bytes)");
+    return uint32_t(value.size());
+}
+
 } // namespace
 
 // ---------------------------------------------------------------- Daemon
@@ -387,6 +409,17 @@ Daemon::handleRequest(const std::string &payload)
                     ? *config_.registry.registry
                     : obs::MetricRegistry::global();
             const std::string dump = obs::renderStatsz(metrics);
+            // Framing budget: status byte + u32 length + dump must
+            // fit one frame, or the client's readFrame rejects the
+            // oversized response and the connection desyncs with a
+            // misleading "short read". Degrade to a clear error.
+            if (dump.size() + 5 > config_.maxFrameBytes)
+                return statusResponse(
+                    wire::kError,
+                    "statsz dump (" + std::to_string(dump.size()) +
+                        " bytes) exceeds the frame limit (" +
+                        std::to_string(config_.maxFrameBytes) +
+                        " bytes)");
             std::string body;
             appendU32(body, uint32_t(dump.size()));
             body += dump;
@@ -400,6 +433,14 @@ Daemon::handleRequest(const std::string &payload)
             std::string body;
             appendU32(body, uint32_t(names.size()));
             for (const std::string &name : names) {
+                // Names loaded over the wire are u16-bounded, but
+                // in-process registry().load() takes any length —
+                // never narrow one silently into a desynced frame.
+                if (name.size() > 0xffff)
+                    return statusResponse(
+                        wire::kError,
+                        "model name too long for list response (" +
+                            std::to_string(name.size()) + " bytes)");
                 appendU16(body, uint16_t(name.size()));
                 body += name;
             }
@@ -465,19 +506,21 @@ Daemon::handleLoad(const std::string &payload)
 void
 Daemon::reapConnectionsLocked()
 {
-    auto dead = [](const std::unique_ptr<Connection> &c) {
-        return c->done.load(std::memory_order_acquire);
-    };
-    for (auto &connection : connections_list_)
-        if (dead(connection)) {
+    // One pass, one doneness read per connection. Re-testing the
+    // atomic in a second (remove_if) pass would let a thread that
+    // finished *between* the passes be erased unjoined — destroying
+    // a joinable std::thread calls std::terminate and leaks its fd.
+    size_t kept = 0;
+    for (auto &connection : connections_list_) {
+        if (connection->done.load(std::memory_order_acquire)) {
             if (connection->thread.joinable())
                 connection->thread.join();
             closeFd(connection->fd);
+        } else {
+            connections_list_[kept++] = std::move(connection);
         }
-    connections_list_.erase(
-        std::remove_if(connections_list_.begin(),
-                       connections_list_.end(), dead),
-        connections_list_.end());
+    }
+    connections_list_.resize(kept);
 }
 
 void
@@ -586,9 +629,9 @@ DaemonClient::predict(const std::string &model,
 {
     std::string payload;
     payload.push_back(char(wire::kPredict));
-    appendU16(payload, uint16_t(model.size()));
+    appendU16(payload, u16Length(model, "model name"));
     payload += model;
-    appendU32(payload, uint32_t(block_text.size()));
+    appendU32(payload, u32Length(block_text, "block text"));
     payload += block_text;
     const std::string body = roundTrip(payload);
     Reader reader{body};
@@ -618,9 +661,9 @@ DaemonClient::load(const std::string &model,
 {
     std::string payload;
     payload.push_back(char(wire::kLoad));
-    appendU16(payload, uint16_t(model.size()));
+    appendU16(payload, u16Length(model, "model name"));
     payload += model;
-    appendU32(payload, uint32_t(path.size()));
+    appendU32(payload, u32Length(path, "checkpoint path"));
     payload += path;
     roundTrip(payload);
 }

@@ -70,16 +70,13 @@ ModelRegistry::load(const std::string &name,
         throw UnknownModelError(
             "ModelRegistry is draining: cannot load '" + name + "'");
 
-    // The incoming generation: one past whatever is serving, so the
-    // new engine's metric prefix never collides with the still-live
-    // (and still-linked) engine it replaces.
-    uint64_t generation = 0;
-    {
-        std::lock_guard lock(mapMutex_);
-        auto it = entries_.find(name);
-        if (it != entries_.end())
-            generation = it->second.generation + 1;
-    }
+    // The incoming generation: monotonic per name, and the counter
+    // survives remove(), so the new engine's metric prefix never
+    // collides with *any* engine ever registered under this name —
+    // not just the one it replaces. A removed-but-still-referenced
+    // engine keeps its linked counters; reusing its prefix would
+    // merge two distinct engines' telemetry.
+    const uint64_t generation = nextGeneration_[name]++;
 
     // Build the replacement entirely outside mapMutex_: validation,
     // input-column precompute and shard construction can take

@@ -32,9 +32,10 @@
  *
  * Every engine registers its metrics under
  * "<metricRoot>.<name>.g<generation>" (generation increments per
- * swap: the outgoing engine is still live — and still linked — while
- * its replacement constructs, so the two must not share a prefix;
- * see obs::MetricRegistry::linkCounter). The registry additionally
+ * load of a name and survives remove(): an outgoing — or removed —
+ * engine is still live, and still linked, while references to it
+ * last, so no two engines ever share a prefix; see
+ * obs::MetricRegistry::linkCounter). The registry additionally
  * owns immortal counters "<metricRoot>.registry.{loads,swaps}" and
  * gauge "<metricRoot>.registry.models" that survive engine
  * turnover, all feeding the same /statsz dump
@@ -180,6 +181,13 @@ class ModelRegistry
     /** Guards the map itself; acquire() holds only this, briefly. */
     mutable std::mutex mapMutex_;
     std::map<std::string, Entry> entries_;
+    /**
+     * Next metric-prefix generation per name. Deliberately outlives
+     * remove(): a removed engine may still be referenced (and its
+     * counters linked), so a later reload of the same name must not
+     * reuse its prefix. Guarded by adminMutex_.
+     */
+    std::map<std::string, uint64_t> nextGeneration_;
     bool draining_ = false;
     std::atomic<uint64_t> swaps_{0};
 };

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <thread>
 
 #include "obs/metrics.hh"
@@ -227,13 +228,21 @@ runDaemonClients(const std::string &host, uint16_t port,
     clients.reserve(size_t(threads));
     for (int t = 0; t < threads; ++t) {
         clients.emplace_back([&, t] {
-            DaemonClient client(host, port);
+            // Connect inside the per-request try: connectTo throws
+            // DaemonError on a refused or draining daemon, and an
+            // exception escaping a thread body terminates the whole
+            // process — a failed connect must count as errors (the
+            // slots keep their NaN markers), not abort the run.
+            std::unique_ptr<DaemonClient> client;
             for (size_t i = size_t(t); i < workload.size();
                  i += size_t(threads)) {
                 const auto t0 = std::chrono::steady_clock::now();
                 try {
+                    if (!client)
+                        client = std::make_unique<DaemonClient>(
+                            host, port);
                     run.predictions[i] =
-                        client.predict(model, workload[i]);
+                        client->predict(model, workload[i]);
                 } catch (const DaemonError &) {
                     errors.fetch_add(1, std::memory_order_relaxed);
                     continue; // slot keeps its NaN marker

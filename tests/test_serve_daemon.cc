@@ -228,6 +228,37 @@ TEST(ModelRegistry, RemoveAndNames)
     EXPECT_EQ(registry.size(), 1u);
 }
 
+TEST(ModelRegistry, ReloadAfterRemoveNeverReusesMetricGeneration)
+{
+    // Generations are monotonic per name and survive remove(): a
+    // removed-but-still-referenced engine must never share a metric
+    // prefix (and thus Counter objects) with its reloaded successor.
+    obs::MetricRegistry metrics;
+    ModelRegistry registry(testRegistryConfig(&metrics));
+    const auto texts = corpusTexts(2, 0x99a);
+
+    registry.load("m", artifactWithSeed(5)); // g0
+    const auto old_engine = registry.acquire("m");
+    EXPECT_TRUE(registry.remove("m"));
+    registry.load("m", artifactWithSeed(9)); // must be g1, not g0
+    const auto new_engine = registry.acquire("m");
+    EXPECT_NE(new_engine.get(), old_engine.get());
+
+    old_engine->predict(texts[0]);
+    new_engine->predict(texts[0]);
+    new_engine->predict(texts[1]);
+    if (obs::enabled()) {
+        const std::string dump = obs::renderStatsz(metrics);
+        const auto g0 =
+            obs::statszCounter(dump, "model.m.g0.requests");
+        const auto g1 =
+            obs::statszCounter(dump, "model.m.g1.requests");
+        ASSERT_TRUE(g0.has_value() && g1.has_value());
+        EXPECT_EQ(*g0, 1u); // merged telemetry would read 3 here
+        EXPECT_EQ(*g1, 2u);
+    }
+}
+
 TEST(ModelRegistry, DrainRejectsNewWorkButKeepsResolving)
 {
     obs::MetricRegistry metrics;
@@ -546,6 +577,48 @@ TEST(Daemon, MalformedFramesGetErrorsNotCrashes)
     DaemonClient client(daemon.port());
     client.ping();
     EXPECT_GE(daemon.errorsServed(), 2u);
+}
+
+TEST(Daemon, OversizedStatszIsAProtocolErrorNotADesync)
+{
+    if (!obs::enabled())
+        GTEST_SKIP() << "statsz dump is empty with obs disabled";
+    obs::MetricRegistry metrics;
+    DaemonConfig cfg;
+    cfg.registry = testRegistryConfig(&metrics);
+    cfg.maxFrameBytes = 64; // far below any real metric dump
+    Daemon daemon(cfg);
+    daemon.registry().load("m", artifactWithSeed(5));
+    daemon.start();
+
+    DaemonClient client(daemon.port());
+    try {
+        client.statsz();
+        FAIL() << "statsz should have errored";
+    } catch (const DaemonError &error) {
+        EXPECT_NE(std::string(error.what()).find("statsz"),
+                  std::string::npos);
+    }
+    // kError keeps the connection usable — the old behavior sent a
+    // frame over the limit, which desynced the connection.
+    client.ping();
+}
+
+TEST(DaemonClient, RejectsOverlongModelNamesBeforeSending)
+{
+    obs::MetricRegistry metrics;
+    DaemonConfig cfg;
+    cfg.registry = testRegistryConfig(&metrics);
+    Daemon daemon(cfg);
+    daemon.start();
+
+    // A name past the u16 length field used to truncate silently,
+    // desyncing the frame; now the client refuses to encode it.
+    DaemonClient client(daemon.port());
+    const std::string huge(70000, 'x');
+    EXPECT_THROW(client.predict(huge, "NOP\n"), DaemonError);
+    EXPECT_THROW(client.load(huge, "/tmp/none.ckpt"), DaemonError);
+    client.ping(); // the bad frames were never sent
 }
 
 TEST(Workload, LatencyFromEmptyHistogramIsAllZero)
