@@ -27,9 +27,9 @@ ChunkWriter::add(std::string_view tag, std::string payload)
 void
 ChunkWriter::requireVersion(uint32_t version)
 {
-    panic_if(version < 1 || version > checkpointVersion,
+    panic_if(version < 1 || version > kind_.maxVersion,
              "requireVersion: {} outside the writable range [1, {}]",
-             version, checkpointVersion);
+             version, kind_.maxVersion);
     version_ = std::max(version_, version);
 }
 
@@ -37,8 +37,7 @@ std::string
 ChunkWriter::serialize() const
 {
     ByteWriter writer;
-    writer.bytes(std::string_view(checkpointMagic,
-                                  sizeof(checkpointMagic)));
+    writer.bytes(std::string_view(kind_.magic, 8));
     writer.u32(version_);
     writer.u32(uint32_t(chunks_.size()));
     for (const Chunk &chunk : chunks_) {
@@ -63,19 +62,20 @@ ChunkWriter::writeFile(const std::string &path) const
 
 // ------------------------------------------------------------ ChunkReader
 
-ChunkReader::ChunkReader(std::string bytes, std::string source)
+ChunkReader::ChunkReader(std::string bytes, std::string source,
+                         const ContainerKind &kind)
     : bytes_(std::move(bytes)), source_(std::move(source))
 {
+    if (source_.empty())
+        source_ = kind.what;
     ByteReader reader(bytes_, source_.c_str());
-    const std::string_view magic = reader.bytes(sizeof(checkpointMagic));
-    fatal_if(magic !=
-                 std::string_view(checkpointMagic, sizeof(checkpointMagic)),
-             "{}: not a difftune checkpoint (bad magic)", source_);
+    const std::string_view magic = reader.bytes(8);
+    fatal_if(magic != std::string_view(kind.magic, 8),
+             "{}: not a difftune {} (bad magic)", source_, kind.what);
     const uint32_t version = reader.u32();
-    fatal_if(version < 1 || version > checkpointVersion,
-             "{}: unsupported checkpoint version {} (this build "
-             "reads 1..{})",
-             source_, version, checkpointVersion);
+    fatal_if(version < 1 || version > kind.maxVersion,
+             "{}: unsupported {} version {} (this build reads 1..{})",
+             source_, kind.what, version, kind.maxVersion);
     const uint32_t count = reader.u32();
     chunks_.reserve(count);
     for (uint32_t i = 0; i < count; ++i) {
@@ -103,15 +103,17 @@ ChunkReader::ChunkReader(std::string bytes, std::string source)
 }
 
 ChunkReader
-ChunkReader::fromFile(const std::string &path)
+ChunkReader::fromFile(const std::string &path,
+                      const ContainerKind &kind)
 {
     std::ifstream in(path, std::ios::binary);
-    fatal_if(!in, "cannot open checkpoint '{}'", path);
+    fatal_if(!in, "cannot open {} '{}'", kind.what, path);
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    fatal_if(in.bad(), "read of checkpoint '{}' failed", path);
+    fatal_if(in.bad(), "read of {} '{}' failed", kind.what, path);
     return ChunkReader(std::move(buffer).str(),
-                       "checkpoint '" + path + "'");
+                       std::string(kind.what) + " '" + path + "'",
+                       kind);
 }
 
 bool

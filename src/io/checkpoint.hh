@@ -69,10 +69,36 @@ inline constexpr const char *tagModelWeightsF32 = "WF32"; ///< v2+
 inline constexpr const char *tagParamTable = "PTBL";
 inline constexpr const char *tagSamplingDist = "DIST";
 
-/** Assembles a chunked checkpoint in memory. */
+/**
+ * One chunked-container file type. The checkpoint machinery — magic
+ * header, version gate, tagged CRC-guarded chunks, strict truncation
+ * and duplicate rejection — is format-agnostic; a ContainerKind
+ * binds it to a concrete file type (the checkpoint itself, the
+ * compare module's .preds prediction artifact). Distinct magics keep
+ * the types honest: a .preds file can never half-load as a
+ * checkpoint or vice versa.
+ */
+struct ContainerKind
+{
+    const char *magic;   ///< exactly 8 bytes at offset 0
+    uint32_t maxVersion; ///< newest format this build reads/writes
+    const char *what;    ///< noun used in error messages
+};
+
+/** The checkpoint container (the default kind everywhere). */
+inline constexpr ContainerKind checkpointContainer{
+    checkpointMagic, checkpointVersion, "checkpoint"};
+
+/** Assembles a chunked container in memory. */
 class ChunkWriter
 {
   public:
+    explicit ChunkWriter(
+        const ContainerKind &kind = checkpointContainer)
+        : kind_(kind)
+    {
+    }
+
     /** Append a chunk; @p tag must be exactly 4 characters. */
     void add(std::string_view tag, std::string payload);
 
@@ -96,24 +122,29 @@ class ChunkWriter
         std::string payload;
     };
 
+    ContainerKind kind_;
     uint32_t version_ = 1;
     std::vector<Chunk> chunks_;
 };
 
-/** Parses and validates a chunked checkpoint. */
+/** Parses and validates a chunked container. */
 class ChunkReader
 {
   public:
     /**
      * Parse @p bytes; fatal on any structural defect. @p source
      * names the container in every error message — fromFile passes
-     * the file path, so a bad file is always identified by name.
+     * the file path, so a bad file is always identified by name
+     * (empty: @p kind's noun is used).
      */
-    explicit ChunkReader(std::string bytes,
-                         std::string source = "checkpoint");
+    explicit ChunkReader(std::string bytes, std::string source = "",
+                         const ContainerKind &kind =
+                             checkpointContainer);
 
     /** Read and parse @p path (errors name the path). */
-    static ChunkReader fromFile(const std::string &path);
+    static ChunkReader
+    fromFile(const std::string &path,
+             const ContainerKind &kind = checkpointContainer);
 
     bool has(std::string_view tag) const;
 

@@ -55,6 +55,19 @@ namespace
 constexpr const char *goldenPath =
     DIFFTUNE_GOLDEN_DIR "/nn_numerics.txt";
 
+/**
+ * Where a regen (DIFFTUNE_REGEN_GOLDEN=1) writes. Overridable with
+ * DIFFTUNE_GOLDEN_OUT so tools/golden_regen_check.sh can regenerate
+ * into a temp file and diff against the committed golden without
+ * touching the source tree.
+ */
+std::string
+goldenOutPath()
+{
+    const char *env = std::getenv("DIFFTUNE_GOLDEN_OUT");
+    return env && *env ? env : goldenPath;
+}
+
 uint64_t
 bits(double v)
 {
@@ -262,8 +275,9 @@ computeAll()
 void
 writeGolden(const std::map<std::string, double> &values)
 {
-    std::ofstream os(goldenPath);
-    ASSERT_TRUE(os.good()) << "cannot write " << goldenPath;
+    const std::string out = goldenOutPath();
+    std::ofstream os(out);
+    ASSERT_TRUE(os.good()) << "cannot write " << out;
     os << "# nn/ golden numerics: key ieee754-bits(hex) value\n"
        << "# regenerate: DIFFTUNE_REGEN_GOLDEN=1 ./test_nn_golden\n";
     char buf[64];
@@ -321,7 +335,7 @@ TEST(NnGolden, MatchesCommittedNumericsBitExactly)
     const auto computed = computeAll();
     if (regenRequested()) {
         writeGolden(computed);
-        GTEST_SKIP() << "regenerated " << goldenPath;
+        GTEST_SKIP() << "regenerated " << goldenOutPath();
     }
     const auto golden = readGolden();
     ASSERT_FALSE(golden.empty())

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the difftune compare harness
+# (docs/COMPARE.md):
+#
+#   1. save-tiny a checkpoint and snapshot it over the default
+#      deterministic corpus into a .preds artifact
+#   2. self-compare: compare(A, A) must exit 0 with every block
+#      bit-exact, and `check` of the artifact against the same
+#      checkpoint must exit 0 on both dispatch paths (AVX2 if the
+#      host has it, and DIFFTUNE_FORCE_SCALAR=1)
+#   3. perturb exactly one weight — one opcode's embedding row, via
+#      the perturb test hook — snapshot again, and require compare
+#      to exit 2 naming exactly the blocks that contain that opcode
+#      (computed independently from the artifact's own dump), and
+#      only those
+#
+# Usage: compare_smoke.sh <difftuned binary> <difftune_compare binary>
+#
+# Run by the examples.compare_smoke CTest entry and the
+# compare-check CI job.
+set -Eeuo pipefail
+
+DIFFTUNED=${1:?usage: compare_smoke.sh <difftuned> <difftune_compare>}
+COMPARE=${2:?usage: compare_smoke.sh <difftuned> <difftune_compare>}
+WORKDIR=$(mktemp -d)
+cleanup() { rm -rf "$WORKDIR"; }
+trap cleanup EXIT
+
+# Every failure names the step it happened in: an unbound variable
+# or a failing command mid-script must never exit behind the last
+# banner's misleading "OK"-looking output.
+STEP="startup"
+step() { STEP="$*"; echo "== $STEP"; }
+on_err() {
+    echo "FAIL: step '$STEP' failed at line $1 (exit $2)" >&2
+}
+trap 'on_err "$LINENO" "$?"' ERR
+
+# A large delta pushes every affected block past the 1e-5 gate, so
+# the expected classification of an affected block is exactly
+# "diverged" (a tiny delta could leave some within-tolerance).
+OPCODE="TEST64rr"
+DELTA=8
+
+step "save-tiny checkpoint + snapshot"
+"$DIFFTUNED" save-tiny "$WORKDIR/ref.ckpt" 5
+"$COMPARE" snapshot "$WORKDIR/a.preds" --ckpt "$WORKDIR/ref.ckpt"
+
+step "self-compare must exit 0, all bit-exact"
+"$COMPARE" compare "$WORKDIR/a.preds" "$WORKDIR/a.preds" \
+    > "$WORKDIR/self.out"
+grep -q "within-tolerance 0 diverged 0 only-in-a 0 only-in-b 0" \
+    "$WORKDIR/self.out" ||
+    { echo "FAIL: self-compare not 100% bit-exact"; exit 1; }
+
+step "check against the source checkpoint must exit 0 (native)"
+"$COMPARE" check "$WORKDIR/a.preds" --ckpt "$WORKDIR/ref.ckpt" \
+    > /dev/null
+
+step "check must exit 0 under DIFFTUNE_FORCE_SCALAR=1"
+DIFFTUNE_FORCE_SCALAR=1 "$COMPARE" check "$WORKDIR/a.preds" \
+    --ckpt "$WORKDIR/ref.ckpt" > /dev/null
+
+step "perturb one embedding weight ($OPCODE, delta $DELTA)"
+"$COMPARE" perturb "$WORKDIR/ref.ckpt" "$WORKDIR/pert.ckpt" \
+    --opcode "$OPCODE" --delta "$DELTA"
+"$COMPARE" snapshot "$WORKDIR/b.preds" --ckpt "$WORKDIR/pert.ckpt"
+
+step "compare must exit 2 against the perturbed snapshot"
+RC=0
+"$COMPARE" compare "$WORKDIR/a.preds" "$WORKDIR/b.preds" \
+    > "$WORKDIR/diff.out" || RC=$?
+if [ "$RC" -ne 2 ]; then
+    cat "$WORKDIR/diff.out"
+    echo "FAIL: compare exited $RC, want 2"
+    exit 1
+fi
+
+step "diverged set must be exactly the $OPCODE blocks"
+# Expected: the artifact's own dump says which blocks contain the
+# perturbed opcode — independent of the comparator's classification.
+"$COMPARE" dump "$WORKDIR/a.preds" |
+    awk -F'\t' -v op="$OPCODE" \
+        '$3 ~ ("(^|,)" op "(,|$)") { print $1 }' |
+    sort -n > "$WORKDIR/expected.txt"
+# Actual: every non-bit-exact block the report names. Perturbing one
+# weight must not reclassify anything as within-tolerance or missing
+# either, so all diff lines must say "diverged".
+grep "^diff" "$WORKDIR/diff.out" > "$WORKDIR/difflines.txt"
+if grep -qv "^diff diverged " "$WORKDIR/difflines.txt"; then
+    cat "$WORKDIR/difflines.txt"
+    echo "FAIL: non-diverged diff classes in a one-weight perturb"
+    exit 1
+fi
+sed -n 's/^diff diverged #\([0-9]*\).*/\1/p' "$WORKDIR/difflines.txt" |
+    sort -n > "$WORKDIR/actual.txt"
+[ -s "$WORKDIR/expected.txt" ] ||
+    { echo "FAIL: corpus has no $OPCODE blocks"; exit 1; }
+if ! cmp -s "$WORKDIR/expected.txt" "$WORKDIR/actual.txt"; then
+    echo "FAIL: diverged set != blocks containing $OPCODE"
+    echo "expected: $(tr '\n' ' ' < "$WORKDIR/expected.txt")"
+    echo "actual:   $(tr '\n' ' ' < "$WORKDIR/actual.txt")"
+    exit 1
+fi
+echo "   $(wc -l < "$WORKDIR/actual.txt") blocks diverged, as expected"
+
+echo "compare smoke OK"

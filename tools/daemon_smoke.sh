@@ -13,7 +13,7 @@
 # Usage: daemon_smoke.sh <path-to-difftuned-binary>
 #
 # Run by the daemon.smoke CTest entry and the daemon-smoke CI job.
-set -euo pipefail
+set -Eeuo pipefail
 
 DIFFTUNED=${1:?usage: daemon_smoke.sh <difftuned binary>}
 WORKDIR=$(mktemp -d)
@@ -24,11 +24,21 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "== save-tiny checkpoints"
+# Every failure names the step it happened in: an unbound variable
+# or a failing command mid-script must never exit behind the last
+# banner's misleading "OK"-looking output.
+STEP="startup"
+step() { STEP="$*"; echo "== $STEP"; }
+on_err() {
+    echo "FAIL: step '$STEP' failed at line $1 (exit $2)" >&2
+}
+trap 'on_err "$LINENO" "$?"' ERR
+
+step "save-tiny checkpoints"
 "$DIFFTUNED" save-tiny "$WORKDIR/a.ckpt" 5
 "$DIFFTUNED" save-tiny "$WORKDIR/b.ckpt" 9
 
-echo "== start difftuned (ephemeral port)"
+step "start difftuned (ephemeral port)"
 "$DIFFTUNED" serve default="$WORKDIR/a.ckpt" \
     --port 0 --port-file "$WORKDIR/port.txt" &
 DAEMON_PID=$!
@@ -45,13 +55,13 @@ done
 PORT=$(cat "$WORKDIR/port.txt")
 echo "   port $PORT"
 
-echo "== client: 400 requests, 4 threads, hot-swap mid-run, audit"
+step "client: 400 requests, 4 threads, hot-swap mid-run, audit"
 # --check fails the client (exit 1) on any request error or if the
 # daemon's /statsz counters do not reconcile.
 "$DIFFTUNED" client "$PORT" --requests 400 --threads 4 \
     --swap default="$WORKDIR/b.ckpt" --check
 
-echo "== SIGTERM: graceful drain must exit 0"
+step "SIGTERM: graceful drain must exit 0"
 kill -TERM "$DAEMON_PID"
 DRAIN_RC=0
 wait "$DAEMON_PID" || DRAIN_RC=$?

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Golden-regen round-trip guard: regenerate the nn/ golden numerics
+# (DIFFTUNE_REGEN_GOLDEN=1) into a temp file and require it to be
+# byte-identical to the committed tests/golden/nn_numerics.txt. A
+# numerics change that forgot to regen — or a regen that drifted from
+# the committed file — fails here instead of hiding until the next
+# deliberate regen.
+#
+# Usage: golden_regen_check.sh <test_nn_golden binary> <committed txt>
+#
+# Run by the golden.regen_roundtrip CTest entry.
+set -Eeuo pipefail
+
+BIN=${1:?usage: golden_regen_check.sh <test_nn_golden> <golden.txt>}
+GOLDEN=${2:?usage: golden_regen_check.sh <test_nn_golden> <golden.txt>}
+
+STEP="startup"
+step() { STEP="$*"; echo "== $STEP"; }
+on_err() {
+    echo "FAIL: step '$STEP' failed at line $1 (exit $2)" >&2
+}
+trap 'on_err "$LINENO" "$?"' ERR
+
+OUT=$(mktemp)
+cleanup() { rm -f "$OUT"; }
+trap cleanup EXIT
+
+step "regenerate golden numerics into $OUT"
+DIFFTUNE_REGEN_GOLDEN=1 DIFFTUNE_GOLDEN_OUT="$OUT" "$BIN" \
+    --gtest_filter='NnGolden.MatchesCommittedNumericsBitExactly' \
+    > /dev/null
+
+step "regenerated file must be byte-identical to $GOLDEN"
+if ! cmp -s "$GOLDEN" "$OUT"; then
+    echo "FAIL: regenerated golden differs from the committed file"
+    diff -u "$GOLDEN" "$OUT" | head -20 || true
+    echo "(the nn/ numerics changed without a deliberate regen, or"
+    echo " the committed golden is stale)"
+    exit 1
+fi
+
+echo "golden regen round-trip OK"

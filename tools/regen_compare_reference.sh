@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Regenerate the committed compare reference artifact
+# (tests/golden/compare_reference.preds): the save-tiny seed-5
+# checkpoint snapshotted over the default deterministic corpus.
+# Run this only after a *deliberate* numerics change — the whole
+# point of the artifact is that accidental drift fails
+# Reference.CommittedArtifactMatchesHead and the compare-check CI
+# job (docs/COMPARE.md).
+#
+# Usage: regen_compare_reference.sh <difftuned> <difftune_compare> \
+#            [out.preds]
+set -Eeuo pipefail
+
+DIFFTUNED=${1:?usage: regen_compare_reference.sh <difftuned> \
+<difftune_compare> [out.preds]}
+COMPARE=${2:?usage: regen_compare_reference.sh <difftuned> \
+<difftune_compare> [out.preds]}
+OUT=${3:-$(dirname "$0")/../tests/golden/compare_reference.preds}
+
+# The snapshot runs from a temp dir; resolve everything first.
+DIFFTUNED=$(readlink -f "$DIFFTUNED")
+COMPARE=$(readlink -f "$COMPARE")
+OUT=$(readlink -f "$(dirname "$OUT")")/$(basename "$OUT")
+
+WORKDIR=$(mktemp -d)
+cleanup() { rm -rf "$WORKDIR"; }
+trap cleanup EXIT
+
+# Run save-tiny from the temp dir so the artifact's recorded engine
+# source is the bare "ref.ckpt", not a throwaway absolute path.
+(
+    cd "$WORKDIR"
+    "$DIFFTUNED" save-tiny ref.ckpt 5
+    "$COMPARE" snapshot ref.preds --ckpt ref.ckpt
+)
+mv "$WORKDIR/ref.preds" "$OUT"
+echo "regenerated $OUT"
