@@ -1,0 +1,78 @@
+#include "lab/cache_sim.hh"
+
+#include <cstdio>
+
+#include "base/logging.hh"
+#include "obs/stage_timer.hh"
+
+namespace difftune::lab
+{
+
+std::string
+simTableHeader()
+{
+    return "policy    requests      hits   hit-rate  evictions "
+           " rejected   p50(ns)   p99(ns)";
+}
+
+std::string
+SimResult::row() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "%-8s %9llu %9llu   %6.2f%% %10llu %9llu %9llu "
+                  "%9llu",
+                  policy.c_str(),
+                  (unsigned long long)requests,
+                  (unsigned long long)counters.hits, 100.0 * hitRate,
+                  (unsigned long long)counters.evictions,
+                  (unsigned long long)counters.rejections,
+                  (unsigned long long)probeP50Ns,
+                  (unsigned long long)probeP99Ns);
+    return buf;
+}
+
+SimResult
+simulatePolicy(const TraceWorkload &trace,
+               const std::string &policy_name, size_t capacity,
+               obs::MetricRegistry &registry)
+{
+    PolicyCache<uint32_t, double> cache(
+        capacity, policyFactory(policy_name)(capacity));
+    obs::LatencyHistogram &probe =
+        registry.histogram("lab." + policy_name + ".probe_ns");
+
+    for (const TraceRequest &req : trace.requests()) {
+        obs::StageTimer timer(&probe);
+        // The simulated "prediction" only has to be a pure function
+        // of the key so a later hit returns the same value.
+        if (!cache.get(req.block))
+            cache.put(req.block, double(req.block));
+    }
+
+    SimResult result;
+    result.policy = policy_name;
+    result.requests = trace.requests().size();
+    result.counters = cache.counters();
+    result.hitRate =
+        result.requests == 0
+            ? 0.0
+            : double(result.counters.hits) / double(result.requests);
+    const obs::HistogramSnapshot snap = probe.snapshot();
+    result.probeP50Ns = uint64_t(snap.percentile(0.50));
+    result.probeP99Ns = uint64_t(snap.percentile(0.99));
+    return result;
+}
+
+std::vector<SimResult>
+sweepPolicies(const TraceWorkload &trace, size_t capacity,
+              obs::MetricRegistry &registry)
+{
+    std::vector<SimResult> results;
+    for (const std::string &name : policyNames())
+        results.push_back(
+            simulatePolicy(trace, name, capacity, registry));
+    return results;
+}
+
+} // namespace difftune::lab

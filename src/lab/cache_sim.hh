@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Policy sweep harness: replay one trace against cache policies.
+ *
+ * CacheSim replays a TraceWorkload's BlockId-rank key stream against
+ * a single unsharded lab::PolicyCache per policy — every policy sees
+ * the byte-identical request sequence, so hit-rate and eviction
+ * deltas are attributable to the policy alone, not to stripe hashing
+ * or arrival jitter. Per-request probe cost lands in an obs::
+ * LatencyHistogram (`lab.<policy>.probe_ns` in the given registry),
+ * which is where the reported p50/p99 come from.
+ *
+ * The simulator deliberately does not run the neural engine: a miss
+ * just "costs" an insert. Use AsyncEngine replay (difftune_lab
+ * replay) for end-to-end latency; use CacheSim for policy A/Bs,
+ * where determinism matters more than wall-clock fidelity.
+ */
+
+#ifndef DIFFTUNE_LAB_CACHE_SIM_HH
+#define DIFFTUNE_LAB_CACHE_SIM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lab/policy.hh"
+#include "lab/policy_cache.hh"
+#include "lab/trace.hh"
+#include "obs/metrics.hh"
+
+namespace difftune::lab
+{
+
+/** One policy's replay result. */
+struct SimResult
+{
+    std::string policy;      ///< registered policy name
+    uint64_t requests = 0;   ///< trace length replayed
+    CacheCounters counters;  ///< hits/misses/evictions/rejections
+    double hitRate = 0.0;    ///< hits / requests
+    uint64_t probeP50Ns = 0; ///< median probe+insert cost
+    uint64_t probeP99Ns = 0; ///< tail probe+insert cost
+
+    /** One aligned text row (pairs with simTableHeader()). */
+    std::string row() const;
+};
+
+/** Header line for SimResult::row() tables. */
+std::string simTableHeader();
+
+/**
+ * Replay @p trace against @p policy_name with a cache of
+ * @p capacity entries. Metrics land in @p registry (pass the
+ * process registry or a scratch one).
+ */
+SimResult simulatePolicy(const TraceWorkload &trace,
+                         const std::string &policy_name,
+                         size_t capacity,
+                         obs::MetricRegistry &registry);
+
+/** simulatePolicy over every registered policy, sweep order. */
+std::vector<SimResult> sweepPolicies(const TraceWorkload &trace,
+                                     size_t capacity,
+                                     obs::MetricRegistry &registry);
+
+} // namespace difftune::lab
+
+#endif // DIFFTUNE_LAB_CACHE_SIM_HH

@@ -1,0 +1,337 @@
+#include "lab/policy.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace difftune::lab
+{
+
+namespace
+{
+
+constexpr uint32_t kNil = 0xffffffffu;
+
+/**
+ * Intrusive doubly-linked list over dense slot indices, front = most
+ * recently used. All links live in two flat vectors sized once at
+ * construction, so touch/insert/remove are pointer-free O(1) with no
+ * allocation after setup (policies sit on the serving hot path
+ * behind stripe mutexes).
+ */
+class SlotList
+{
+  public:
+    explicit SlotList(size_t capacity)
+        : next_(capacity, kNil), prev_(capacity, kNil)
+    {
+    }
+
+    bool empty() const { return head_ == kNil; }
+    size_t size() const { return size_; }
+    uint32_t front() const { return head_; }
+    uint32_t back() const { return tail_; }
+
+    void
+    pushFront(uint32_t slot)
+    {
+        prev_[slot] = kNil;
+        next_[slot] = head_;
+        if (head_ != kNil)
+            prev_[head_] = slot;
+        head_ = slot;
+        if (tail_ == kNil)
+            tail_ = slot;
+        ++size_;
+    }
+
+    void
+    remove(uint32_t slot)
+    {
+        const uint32_t p = prev_[slot];
+        const uint32_t n = next_[slot];
+        if (p != kNil)
+            next_[p] = n;
+        else
+            head_ = n;
+        if (n != kNil)
+            prev_[n] = p;
+        else
+            tail_ = p;
+        prev_[slot] = next_[slot] = kNil;
+        --size_;
+    }
+
+    void
+    moveToFront(uint32_t slot)
+    {
+        if (head_ == slot)
+            return;
+        remove(slot);
+        pushFront(slot);
+    }
+
+  private:
+    std::vector<uint32_t> next_;
+    std::vector<uint32_t> prev_;
+    uint32_t head_ = kNil;
+    uint32_t tail_ = kNil;
+    size_t size_ = 0;
+};
+
+/** Classic LRU; decision-sequence-identical to serve::LruCache. */
+class LruPolicy final : public CachePolicy
+{
+  public:
+    explicit LruPolicy(size_t capacity) : order_(capacity) {}
+
+    const char *name() const override { return "lru"; }
+    void touch(uint32_t slot) override { order_.moveToFront(slot); }
+    bool admit(uint64_t) override { return true; }
+    void inserted(uint32_t slot, uint64_t) override
+    {
+        order_.pushFront(slot);
+    }
+    uint32_t victim() override { return order_.back(); }
+    void erased(uint32_t slot) override { order_.remove(slot); }
+
+  private:
+    SlotList order_;
+};
+
+/** Segmented LRU: probation + protected, promote on second hit. */
+class SegmentedLruPolicy final : public CachePolicy
+{
+  public:
+    SegmentedLruPolicy(size_t capacity, double protected_fraction)
+        : probation_(capacity), protected_(capacity),
+          segment_(capacity, kNone)
+    {
+        const double f = std::clamp(protected_fraction, 0.0, 1.0);
+        // Probation must be able to hold at least one entry or no
+        // key could ever be admitted past a full protected segment.
+        protectedCap_ = std::min(capacity - 1,
+                                 size_t(double(capacity) * f));
+    }
+
+    const char *name() const override { return "slru"; }
+
+    void
+    touch(uint32_t slot) override
+    {
+        if (segment_[slot] == kProtected) {
+            protected_.moveToFront(slot);
+            return;
+        }
+        // Second hit: promote out of probation; the protected
+        // segment sheds its own LRU back to probation MRU when over
+        // its cap, so scans can never displace more than the
+        // probationary share.
+        probation_.remove(slot);
+        protected_.pushFront(slot);
+        segment_[slot] = kProtected;
+        if (protected_.size() > protectedCap_) {
+            const uint32_t demoted = protected_.back();
+            protected_.remove(demoted);
+            probation_.pushFront(demoted);
+            segment_[demoted] = kProbation;
+        }
+    }
+
+    bool admit(uint64_t) override { return true; }
+
+    void
+    inserted(uint32_t slot, uint64_t) override
+    {
+        probation_.pushFront(slot);
+        segment_[slot] = kProbation;
+    }
+
+    uint32_t
+    victim() override
+    {
+        return probation_.empty() ? protected_.back()
+                                  : probation_.back();
+    }
+
+    void
+    erased(uint32_t slot) override
+    {
+        (segment_[slot] == kProtected ? protected_ : probation_)
+            .remove(slot);
+        segment_[slot] = kNone;
+    }
+
+  private:
+    enum Segment : uint8_t { kNone, kProbation, kProtected };
+
+    SlotList probation_;
+    SlotList protected_;
+    std::vector<uint8_t> segment_;
+    size_t protectedCap_;
+};
+
+/** TinyLFU-style doorkeeper + count-min admission over LRU. */
+class TinyLfuPolicy final : public CachePolicy
+{
+  public:
+    explicit TinyLfuPolicy(size_t capacity)
+        : order_(capacity), slotHash_(capacity, 0),
+          resetPeriod_(8 * std::max<size_t>(capacity, 1))
+    {
+        size_t width = 64;
+        while (width < capacity * 4)
+            width <<= 1;
+        mask_ = width - 1;
+        for (auto &row : sketch_)
+            row.assign(width, 0);
+        doorkeeper_.assign(width, 0); // 8 bloom bits per byte
+        dkMask_ = width * 8 - 1;
+    }
+
+    const char *name() const override { return "tinylfu"; }
+
+    void
+    touch(uint32_t slot) override
+    {
+        order_.moveToFront(slot);
+        record(slotHash_[slot]);
+    }
+
+    void onMiss(uint64_t key_hash) override { record(key_hash); }
+
+    bool
+    admit(uint64_t key_hash) override
+    {
+        // Strictly beat the victim or stay out: ties go to the
+        // resident entry, so one-hit wonders and scans (estimate
+        // <= 1 after the doorkeeper absorbed the first sighting)
+        // never displace a proven key.
+        return estimate(key_hash) > estimate(slotHash_[order_.back()]);
+    }
+
+    void
+    inserted(uint32_t slot, uint64_t key_hash) override
+    {
+        order_.pushFront(slot);
+        slotHash_[slot] = key_hash;
+    }
+
+    uint32_t victim() override { return order_.back(); }
+    void erased(uint32_t slot) override { order_.remove(slot); }
+
+  private:
+    void
+    record(uint64_t h)
+    {
+        if (++ops_ >= resetPeriod_)
+            age();
+        if (!dkTest(h)) {
+            dkSet(h);
+            return; // first sighting lives in the doorkeeper bit
+        }
+        for (int row = 0; row < kRows; ++row) {
+            uint8_t &c = sketch_[row][index(h, row)];
+            if (c < kMaxCount)
+                ++c;
+        }
+    }
+
+    uint32_t
+    estimate(uint64_t h) const
+    {
+        uint8_t est = kMaxCount;
+        for (int row = 0; row < kRows; ++row)
+            est = std::min(est, sketch_[row][index(h, row)]);
+        return uint32_t(est) + (dkTest(h) ? 1u : 0u);
+    }
+
+    /** Halve every counter and drop the doorkeeper: the sketch
+     *  tracks recent popularity, not all of history. */
+    void
+    age()
+    {
+        ops_ = 0;
+        for (auto &row : sketch_)
+            for (uint8_t &c : row)
+                c >>= 1;
+        std::fill(doorkeeper_.begin(), doorkeeper_.end(), 0);
+    }
+
+    /** Row index: disjoint 16-bit lanes of the finalized hash. */
+    size_t
+    index(uint64_t h, int row) const
+    {
+        return size_t((h >> (16 * row)) ^ (h >> 7)) & mask_;
+    }
+
+    bool
+    dkTest(uint64_t h) const
+    {
+        const uint64_t bit = (h ^ (h >> 21)) & dkMask_;
+        return doorkeeper_[bit >> 3] & (1u << (bit & 7));
+    }
+
+    void
+    dkSet(uint64_t h)
+    {
+        const uint64_t bit = (h ^ (h >> 21)) & dkMask_;
+        doorkeeper_[bit >> 3] |= uint8_t(1u << (bit & 7));
+    }
+
+    static constexpr int kRows = 4;
+    static constexpr uint8_t kMaxCount = 15; // 4-bit, halved by age()
+
+    SlotList order_;
+    std::vector<uint64_t> slotHash_;
+    std::vector<uint8_t> sketch_[kRows];
+    std::vector<uint8_t> doorkeeper_;
+    size_t mask_ = 0;
+    uint64_t dkMask_ = 0;
+    size_t ops_ = 0;
+    const size_t resetPeriod_;
+};
+
+} // namespace
+
+std::unique_ptr<CachePolicy>
+makeLruPolicy(size_t capacity)
+{
+    return std::make_unique<LruPolicy>(capacity);
+}
+
+std::unique_ptr<CachePolicy>
+makeSegmentedLruPolicy(size_t capacity, double protected_fraction)
+{
+    return std::make_unique<SegmentedLruPolicy>(capacity,
+                                                protected_fraction);
+}
+
+std::unique_ptr<CachePolicy>
+makeTinyLfuPolicy(size_t capacity)
+{
+    return std::make_unique<TinyLfuPolicy>(capacity);
+}
+
+PolicyFactory
+policyFactory(std::string_view name)
+{
+    if (name == "lru")
+        return [](size_t cap) { return makeLruPolicy(cap); };
+    if (name == "slru")
+        return [](size_t cap) { return makeSegmentedLruPolicy(cap); };
+    if (name == "tinylfu")
+        return [](size_t cap) { return makeTinyLfuPolicy(cap); };
+    fatal("unknown cache policy '{}' (expected lru|slru|tinylfu)",
+          std::string(name));
+}
+
+const std::vector<std::string> &
+policyNames()
+{
+    static const std::vector<std::string> names = {"lru", "slru",
+                                                   "tinylfu"};
+    return names;
+}
+
+} // namespace difftune::lab

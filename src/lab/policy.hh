@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Pluggable cache replacement/admission policies (the traffic lab).
+ *
+ * A CachePolicy owns the *ordering* decisions of a bounded cache —
+ * which resident entry to evict next, and whether a new key is worth
+ * admitting at all — while the owning cache (lab::PolicyCache, and
+ * through it serve::ShardedLruCache) owns the storage. The split
+ * keeps policies storage-agnostic: they see dense slot handles
+ * (0..capacity-1, assigned by the cache) plus an opaque 64-bit key
+ * hash for frequency sketches, never keys or values.
+ *
+ * Contract (enforced by tests/test_lab.cc property tests):
+ *  - touch(slot) is only called on a resident slot (a lookup hit).
+ *  - onMiss(hash) is called on every lookup miss, before any put.
+ *  - admit(hash) is only called when the cache is full; returning
+ *    false rejects the insert (the caller serves uncached) and must
+ *    not change residency.
+ *  - victim() is only called after admit() returned true and must
+ *    return a currently resident slot.
+ *  - inserted()/erased() bracket residency; a slot is never double-
+ *    inserted or double-erased.
+ *
+ * Policies are deliberately single-threaded: every stripe of a
+ * sharded cache owns one policy instance behind that stripe's mutex.
+ *
+ * By the serving determinism contract (docs/SERVING.md) a policy can
+ * only ever change *speed*, never results: predictions are pure per
+ * canonical block, so eviction and admission choices only decide
+ * whether a forward pass re-runs. See docs/TRAFFIC_LAB.md.
+ */
+
+#ifndef DIFFTUNE_LAB_POLICY_HH
+#define DIFFTUNE_LAB_POLICY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace difftune::lab
+{
+
+/** Replacement + admission policy over dense slot handles. */
+class CachePolicy
+{
+  public:
+    virtual ~CachePolicy() = default;
+
+    /** Stable identifier ("lru", "slru", "tinylfu"). */
+    virtual const char *name() const = 0;
+
+    /** Lookup hit: refresh recency/frequency of a resident slot. */
+    virtual void touch(uint32_t slot) = 0;
+
+    /** Lookup miss: admission sketches may record demand. */
+    virtual void onMiss(uint64_t key_hash) { (void)key_hash; }
+
+    /**
+     * The cache is full and @p key_hash wants in: admit (an evict
+     * of victim() follows) or reject (caller serves uncached)?
+     */
+    virtual bool admit(uint64_t key_hash) = 0;
+
+    /** The key hashing to @p key_hash now resides in @p slot. */
+    virtual void inserted(uint32_t slot, uint64_t key_hash) = 0;
+
+    /** The resident slot to evict next. */
+    virtual uint32_t victim() = 0;
+
+    /** @p slot was removed from the cache. */
+    virtual void erased(uint32_t slot) = 0;
+};
+
+/**
+ * Builds one policy instance per cache stripe. Factories must be
+ * pure (no shared state between the instances they return): stripes
+ * run concurrently, each policy behind its own stripe mutex.
+ */
+using PolicyFactory =
+    std::function<std::unique_ptr<CachePolicy>(size_t capacity)>;
+
+/** Classic LRU: evict the least-recently-used slot, admit always.
+ *  Byte-matches the legacy serve::LruCache decision sequence. */
+std::unique_ptr<CachePolicy> makeLruPolicy(size_t capacity);
+
+/**
+ * Segmented LRU (2Q-style): new entries land in a probationary
+ * segment; a second hit promotes to a protected segment capped at
+ * @p protected_fraction of capacity (protected overflow demotes back
+ * to probation). Scans wash through probation without displacing the
+ * protected working set. Victim: probation LRU, else protected LRU.
+ */
+std::unique_ptr<CachePolicy>
+makeSegmentedLruPolicy(size_t capacity,
+                       double protected_fraction = 0.8);
+
+/**
+ * TinyLFU-style admission over an LRU backbone: a doorkeeper bloom
+ * bit absorbs first sightings, a 4-row count-min sketch estimates
+ * access frequency beyond it, and a full cache only admits a new key
+ * when its estimate strictly beats the current victim's (one-hit
+ * wonders and scans are rejected outright). Counters halve every
+ * 8 x capacity recorded accesses so the sketch tracks the recent
+ * popularity distribution rather than all of history.
+ */
+std::unique_ptr<CachePolicy> makeTinyLfuPolicy(size_t capacity);
+
+/** Factory for a named policy; fatal() on an unknown name. */
+PolicyFactory policyFactory(std::string_view name);
+
+/** The registered policy names, sweep order: lru, slru, tinylfu. */
+const std::vector<std::string> &policyNames();
+
+/**
+ * Finalize an std::hash value for sketch/stripe use. std::hash is
+ * identity for integers on common library implementations, so raw
+ * values of dense ids (isa::BlockId) would correlate with whatever
+ * bits a consumer reduces by; the full splitmix64 finalizer
+ * decorrelates them. (ShardedLruCache::stripeFor applies the same
+ * mix before picking a stripe — see the stripe-balance test.)
+ */
+inline uint64_t
+finalizeHash(uint64_t h)
+{
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    return h;
+}
+
+} // namespace difftune::lab
+
+#endif // DIFFTUNE_LAB_POLICY_HH

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Bounded map driven by a pluggable lab::CachePolicy.
+ *
+ * PolicyCache owns the storage — a flat slot table plus an index —
+ * and delegates every ordering decision (eviction victim, admission
+ * of new keys when full) to the policy through dense slot handles.
+ * serve::ShardedLruCache builds one PolicyCache per stripe, which is
+ * how AsyncEngine gets constructed with any policy; lab::CacheSim
+ * replays traces against a single unsharded instance so two policies
+ * see byte-identical request sequences.
+ *
+ * With the default LRU policy the hit/miss/eviction sequence is
+ * byte-identical to the legacy serve::LruCache (asserted by a
+ * test_lab property test), so swapping the engine's caches onto this
+ * template changed no behavior.
+ *
+ * Not thread-safe; callers stripe and lock (see ShardedLruCache).
+ */
+
+#ifndef DIFFTUNE_LAB_POLICY_CACHE_HH
+#define DIFFTUNE_LAB_POLICY_CACHE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "base/logging.hh"
+#include "lab/policy.hh"
+
+namespace difftune::lab
+{
+
+/** Counters a policy run exposes (monotonic, reset never). */
+struct CacheCounters
+{
+    uint64_t hits = 0;       ///< get() found the key
+    uint64_t misses = 0;     ///< get() did not
+    uint64_t insertions = 0; ///< new keys admitted
+    uint64_t evictions = 0;  ///< residents displaced by admissions
+    uint64_t rejections = 0; ///< new keys the policy kept out
+
+    CacheCounters &
+    operator+=(const CacheCounters &o)
+    {
+        hits += o.hits;
+        misses += o.misses;
+        insertions += o.insertions;
+        evictions += o.evictions;
+        rejections += o.rejections;
+        return *this;
+    }
+};
+
+template <typename Key, typename Value>
+class PolicyCache
+{
+  public:
+    /** Takes ownership of @p policy (built for this capacity). */
+    PolicyCache(size_t capacity, std::unique_ptr<CachePolicy> policy)
+        : capacity_(capacity), policy_(std::move(policy))
+    {
+        panic_if(capacity == 0,
+                 "PolicyCache capacity must be positive");
+        panic_if(!policy_, "PolicyCache requires a policy");
+        slots_.resize(capacity);
+        index_.reserve(capacity);
+    }
+
+    /**
+     * Look up @p key; a hit refreshes the policy and returns a
+     * pointer valid until the next put(). A miss is reported to the
+     * policy (admission sketches record demand) and returns nullptr.
+     */
+    const Value *
+    get(const Key &key)
+    {
+        auto it = index_.find(key);
+        if (it == index_.end()) {
+            ++counters_.misses;
+            policy_->onMiss(finalizeHash(uint64_t(hash_(key))));
+            return nullptr;
+        }
+        ++counters_.hits;
+        policy_->touch(it->second);
+        return &slots_[it->second].value;
+    }
+
+    /**
+     * Insert or refresh @p key. Returns false iff the cache was full
+     * and the policy rejected admission (the entry is not stored;
+     * serving correctness never depends on residency).
+     */
+    bool
+    put(Key key, Value value)
+    {
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+            slots_[it->second].value = std::move(value);
+            policy_->touch(it->second);
+            return true;
+        }
+        const uint64_t key_hash = finalizeHash(uint64_t(hash_(key)));
+        uint32_t slot;
+        if (index_.size() < capacity_) {
+            slot = uint32_t(index_.size());
+        } else {
+            if (!policy_->admit(key_hash)) {
+                ++counters_.rejections;
+                return false;
+            }
+            slot = policy_->victim();
+            index_.erase(slots_[slot].key);
+            policy_->erased(slot);
+            ++counters_.evictions;
+        }
+        slots_[slot].key = key;
+        slots_[slot].value = std::move(value);
+        index_.emplace(std::move(key), slot);
+        policy_->inserted(slot, key_hash);
+        ++counters_.insertions;
+        return true;
+    }
+
+    size_t size() const { return index_.size(); }
+    size_t capacity() const { return capacity_; }
+    const char *policyName() const { return policy_->name(); }
+    const CacheCounters &counters() const { return counters_; }
+
+  private:
+    struct Slot
+    {
+        Key key{};
+        Value value{};
+    };
+
+    size_t capacity_;
+    std::unique_ptr<CachePolicy> policy_;
+    std::vector<Slot> slots_;
+    std::unordered_map<Key, uint32_t> index_;
+    std::hash<Key> hash_;
+    CacheCounters counters_;
+};
+
+} // namespace difftune::lab
+
+#endif // DIFFTUNE_LAB_POLICY_CACHE_HH

@@ -47,12 +47,14 @@ AsyncEngine::AsyncEngine(io::ModelSnapshot artifact,
                                           : size_t(1) << 17,
                 config.internCapacity > 0 ? config.internCapacity
                                           : size_t(1) << 16),
-      textCache_(config.cacheCapacity, cacheStripes(config)),
-      cache_(config.cacheCapacity, cacheStripes(config)),
+      textCache_(config.cacheCapacity, cacheStripes(config),
+                 config.cachePolicy),
+      cache_(config.cacheCapacity, cacheStripes(config),
+             config.cachePolicy),
       encodedCache_(config.encodedCapacity > 0
                         ? config.encodedCapacity
                         : 4 * config.cacheCapacity,
-                    cacheStripes(config))
+                    cacheStripes(config), config.cachePolicy)
 {
     fatal_if(!artifact_.model || !artifact_.weights,
              "AsyncEngine needs a promoted ModelSnapshot "
@@ -230,8 +232,9 @@ AsyncEngine::shutdown()
     // one racing the destructor — serialize instead of double-join,
     // and every caller returns only once the drain is complete.
     std::lock_guard lock(shutdownMutex_);
-    if (dispatcher_.joinable())
-        dispatcher_.join();
+    for (const auto &worker : pool_)
+        if (worker->thread.joinable())
+            worker->thread.join();
 }
 
 // --------------------------------------------------------------- intake
@@ -264,6 +267,11 @@ AsyncEngine::submit(std::string block_text)
         promise.set_value(*hit);
         return future;
     }
+    // Striped assignment: requests round-robin over the per-worker
+    // intake queues. The stripe draw sits outside the lock — it
+    // only has to distribute, not order.
+    const uint64_t stripe =
+        intakeStripe_.fetch_add(1, std::memory_order_relaxed);
     {
         std::lock_guard lock(queueMutex_);
         if (stopping_) {
@@ -272,14 +280,21 @@ AsyncEngine::submit(std::string block_text)
             ++stats_.misses;
             throw EngineStoppedError();
         }
-        queue_.push_back(Pending{std::move(block_text),
-                                 std::move(promise),
-                                 stage_.on() ? obs::nowNs() : 0});
+        ensureDispatchersLocked();
+        pool_[size_t(stripe % pool_.size())]->queue.push_back(
+            Pending{std::move(block_text), std::move(promise),
+                    stage_.on() ? obs::nowNs() : 0});
+        ++totalQueued_;
         if (stage_.on())
-            stage_.queueDepth->set(int64_t(queue_.size()));
-        ensureDispatcherLocked();
+            stage_.queueDepth->set(int64_t(totalQueued_));
     }
-    queueCv_.notify_one();
+    // One worker suffices for one request — unless it lands while
+    // the only awake worker is mid-coalesce on another queue, which
+    // a pool avoids by waking everyone (cheap at pool sizes).
+    if (pool_.size() == 1)
+        queueCv_.notify_one();
+    else
+        queueCv_.notify_all();
     return future;
 }
 
@@ -305,20 +320,29 @@ AsyncEngine::submitAll(std::vector<std::string> block_texts)
             Pending{std::move(text), std::move(promise), enqueued});
     }
     if (!fresh.empty()) {
+        const uint64_t stripe = intakeStripe_.fetch_add(
+            fresh.size(), std::memory_order_relaxed);
         {
             std::lock_guard lock(queueMutex_);
             if (stopping_) {
                 stats_.misses += fresh.size();
                 throw EngineStoppedError();
             }
-            for (Pending &pending : fresh)
-                queue_.push_back(std::move(pending));
+            ensureDispatchersLocked();
+            // Group members stripe round-robin like singles, so a
+            // large group spreads over the pool and its micro-
+            // batches overlap (bit-stability is indifferent to the
+            // split; ordering within a future group is irrelevant
+            // because every member carries its own future).
+            for (size_t i = 0; i < fresh.size(); ++i)
+                pool_[size_t((stripe + i) % pool_.size())]
+                    ->queue.push_back(std::move(fresh[i]));
+            totalQueued_ += fresh.size();
             if (stage_.on())
-                stage_.queueDepth->set(int64_t(queue_.size()));
-            // The whole group is already here: let the dispatcher
+                stage_.queueDepth->set(int64_t(totalQueued_));
+            // The whole group is already here: let the dispatchers
             // skip the coalescing wait.
             ++flushes_;
-            ensureDispatcherLocked();
         }
         queueCv_.notify_all();
     }
@@ -419,7 +443,7 @@ AsyncEngine::predictBlock(const isa::BasicBlock &block)
     std::vector<Miss> one(1);
     one[0].id = id;
     one[0].block = block;
-    forwardMissBatch(0, one, 0, 1);
+    forwardMissBatch(shards_[0], one, 0, 1);
     const double prediction = one[0].prediction;
     if (id != isa::invalidBlockId)
         cache_.put(id, prediction);
@@ -433,6 +457,14 @@ AsyncEngine::serveBatch(const std::vector<const std::string *> &texts,
                         bool sample_laps)
 {
     std::lock_guard lock(batchMutex_);
+    return serveBatchOn(shards_, texts, sample_laps);
+}
+
+std::vector<AsyncEngine::Outcome>
+AsyncEngine::serveBatchOn(
+    std::vector<Shard> &shards,
+    const std::vector<const std::string *> &texts, bool sample_laps)
+{
     ++stats_.batches;
     // Chained laps: each stage boundary is one clock read shared
     // with the next stage (N stages cost N+1 reads, not 2N), and
@@ -528,9 +560,10 @@ AsyncEngine::serveBatch(const std::vector<const std::string *> &texts,
     {
         obs::StageTimer forward_span(
             misses.empty() ? nullptr : stage_.forward);
-        parallelShards(misses.size(), workers_,
+        parallelShards(misses.size(), int(shards.size()),
                        [&](size_t lo, size_t hi, int shard) {
-                           forwardMissBatch(shard, misses, lo, hi);
+                           forwardMissBatch(shards[size_t(shard)],
+                                            misses, lo, hi);
                        });
     }
 
@@ -553,10 +586,9 @@ AsyncEngine::serveBatch(const std::vector<const std::string *> &texts,
 }
 
 void
-AsyncEngine::forwardMissBatch(int shard, std::vector<Miss> &misses,
+AsyncEngine::forwardMissBatch(Shard &sh, std::vector<Miss> &misses,
                               size_t lo, size_t hi)
 {
-    Shard &sh = shards_[size_t(shard)];
     nn::BatchedForward &bf = *sh.batched;
     const std::vector<nn::Tensor> &columns = snapshot_->inputColumns();
     const size_t count = hi - lo;
@@ -655,18 +687,37 @@ AsyncEngine::predictUncached(const std::string &block_text) const
 // ----------------------------------------------------------- dispatcher
 
 void
-AsyncEngine::ensureDispatcherLocked()
+AsyncEngine::ensureDispatchersLocked()
 {
-    if (dispatcherStarted_)
+    if (dispatchersStarted_)
         return;
-    dispatcherStarted_ = true;
-    // The new thread blocks on queueMutex_ until the caller
-    // releases it, then finds the request that triggered the start.
-    dispatcher_ = std::thread(&AsyncEngine::dispatchLoop, this);
+    dispatchersStarted_ = true;
+    // Build every worker — including its private executor set —
+    // before any thread starts, so pool_ is immutable from here on
+    // and workers index siblings' queues without further
+    // coordination. The new threads block on queueMutex_ until the
+    // caller releases it, then find the request that triggered the
+    // start.
+    const size_t pool = poolSize();
+    pool_.reserve(pool);
+    for (size_t w = 0; w < pool; ++w) {
+        pool_.push_back(std::make_unique<DispatchWorker>());
+        DispatchWorker &worker = *pool_.back();
+        worker.shards.reserve(size_t(workers_));
+        for (int shard = 0; shard < workers_; ++shard) {
+            worker.shards.emplace_back();
+            worker.shards.back().batched =
+                std::make_unique<nn::BatchedForward>(snapshot_,
+                                                     precision_);
+        }
+    }
+    for (size_t w = 0; w < pool; ++w)
+        pool_[w]->thread =
+            std::thread(&AsyncEngine::dispatchLoop, this, w);
 }
 
 void
-AsyncEngine::dispatchLoop()
+AsyncEngine::dispatchLoop(size_t self)
 {
     // Async end-to-end latency: submit-time stamp to future
     // fulfillment, one clock read per micro-batch. (Front-cache hits
@@ -679,71 +730,105 @@ AsyncEngine::dispatchLoop()
             stage_.request->record(
                 obs::elapsedNs(pending.enqueuedNs, now));
     };
+    DispatchWorker &me = *pool_[self];
     std::vector<Pending> batch;
     uint64_t served_flushes = 0;
     while (true) {
         {
             std::unique_lock lock(queueMutex_);
             queueCv_.wait(lock, [this] {
-                return stopping_ || !queue_.empty();
+                return stopping_ || totalQueued_ > 0;
             });
-            if (queue_.empty())
+            if (totalQueued_ == 0)
                 return; // stopping and fully drained
-            // Coalescing window: an undersized batch waits briefly
-            // for company — unless a flush (submitAll group,
-            // shutdown) already promised none is coming.
-            if (!stopping_ && queue_.size() < config_.maxBatch &&
+            // Coalescing window: an undersized batch of this
+            // worker's own traffic waits briefly for company —
+            // unless a flush (submitAll group, shutdown) already
+            // promised none is coming. A worker woken only to
+            // steal (own queue empty) skips the wait: a backlog on
+            // a busy sibling is dense traffic, and its owner
+            // already paid any coalescing delay.
+            if (!stopping_ && !me.queue.empty() &&
+                me.queue.size() < config_.maxBatch &&
                 served_flushes == flushes_ &&
                 config_.maxWaitMicros > 0) {
                 obs::StageTimer coalesce_span(stage_.coalesce);
                 queueCv_.wait_for(
                     lock,
                     std::chrono::microseconds(config_.maxWaitMicros),
-                    [this, served_flushes] {
+                    [this, &me, served_flushes] {
                         return stopping_ ||
-                               queue_.size() >= config_.maxBatch ||
+                               me.queue.size() >= config_.maxBatch ||
                                served_flushes != flushes_;
                     });
             }
-            const size_t take =
-                std::min(queue_.size(), config_.maxBatch);
+            // Intake: drain the own queue first (striped FIFO
+            // affinity), then — only when idle — steal from loaded
+            // siblings, oldest requests first, scanning round-robin
+            // from the next worker up.
             batch.clear();
-            batch.reserve(take);
-            for (size_t i = 0; i < take; ++i) {
-                batch.push_back(std::move(queue_.front()));
-                queue_.pop_front();
+            std::deque<Pending> &own = me.queue;
+            const size_t own_take =
+                std::min(own.size(), config_.maxBatch);
+            batch.reserve(own_take);
+            for (size_t i = 0; i < own_take; ++i) {
+                batch.push_back(std::move(own.front()));
+                own.pop_front();
             }
+            if (batch.empty()) {
+                for (size_t step = 1;
+                     step < pool_.size() &&
+                     batch.size() < config_.maxBatch;
+                     ++step) {
+                    std::deque<Pending> &victim =
+                        pool_[(self + step) % pool_.size()]->queue;
+                    while (!victim.empty() &&
+                           batch.size() < config_.maxBatch) {
+                        batch.push_back(std::move(victim.front()));
+                        victim.pop_front();
+                    }
+                }
+            }
+            totalQueued_ -= batch.size();
             if (stage_.on()) {
-                stage_.queueDepth->set(int64_t(queue_.size()));
+                // Pool-correct accounting: the gauge mirrors the
+                // backlog summed over every per-worker queue, and
+                // each request's queue wait runs from its enqueue
+                // on the owning queue to this pop — stolen requests
+                // keep their original stamp.
+                stage_.queueDepth->set(int64_t(totalQueued_));
                 stage_.batchSize->record(batch.size());
                 const uint64_t now = obs::nowNs();
                 for (const Pending &pending : batch)
                     stage_.queueWait->record(
                         obs::elapsedNs(pending.enqueuedNs, now));
             }
-            // Only a fully-drained queue re-arms the coalescing
+            // Only a fully-drained intake re-arms the coalescing
             // wait: a remainder (the tail of an oversized group, or
             // a backlog of singles deeper than maxBatch) is dense
             // traffic that must be served immediately, not held for
             // company that is already here.
             served_flushes =
-                queue_.empty() ? flushes_ : flushes_ - 1;
+                totalQueued_ == 0 ? flushes_ : flushes_ - 1;
         }
+        if (batch.empty())
+            continue; // a sibling drained the backlog first
 
-        // Serve with no queue lock held, so clients keep submitting
-        // (and the next micro-batch keeps filling) while this one
-        // runs.
+        // Serve with no queue lock held — on this worker's private
+        // executor set, no batchMutex_ — so clients keep submitting
+        // and batches on other pool workers run concurrently while
+        // this one executes.
         std::vector<const std::string *> texts;
         texts.reserve(batch.size());
         for (const Pending &pending : batch)
             texts.push_back(&pending.text);
         std::vector<Outcome> outcomes;
         try {
-            outcomes = serveBatch(texts, sampleTick());
+            outcomes = serveBatchOn(me.shards, texts, sampleTick());
         } catch (...) {
-            // serveBatch captures per-request errors; anything that
-            // still escapes (allocation failure) fails the whole
-            // micro-batch rather than abandoning the futures.
+            // serveBatchOn captures per-request errors; anything
+            // that still escapes (allocation failure) fails the
+            // whole micro-batch rather than abandoning the futures.
             for (Pending &pending : batch)
                 pending.promise.set_exception(
                     std::current_exception());

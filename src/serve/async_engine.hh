@@ -22,12 +22,15 @@
  *    (they parallelize internally over shards, as in v1).
  *
  *  - **Async micro-batched submission.** submit(text) returns a
- *    std::future immediately; a dispatcher thread coalesces queued
- *    requests from many clients into micro-batches of up to
- *    maxBatch lanes (waiting at most maxWaitMicros for company), so
- *    concurrent single-block clients get batched execution — the
- *    amortization a DL-based simulator needs to win — without any
- *    client-side batching.
+ *    std::future immediately; a dispatcher pool (AsyncConfig::
+ *    dispatchers workers, each with its own intake queue — striped
+ *    round-robin assignment, idle-steal — and its own executor set)
+ *    coalesces queued requests from many clients into micro-batches
+ *    of up to maxBatch lanes (waiting at most maxWaitMicros for
+ *    company), so concurrent single-block clients get batched
+ *    execution — the amortization a DL-based simulator needs to
+ *    win — without any client-side batching, and batches on
+ *    different pool workers overlap on multi-core boxes.
  *
  * The front end behind predict is a three-level cache key hierarchy
  * (docs/FRONTEND.md): raw text -> interned canonical BlockId ->
@@ -48,9 +51,10 @@
  *
  * # Shutdown
  *
- * shutdown() (also run by the destructor) stops intake, drains the
- * queue — every already-submitted future still completes — and
- * joins the dispatcher. submit after shutdown throws
+ * shutdown() (also run by the destructor) stops intake, drains
+ * every intake queue — every already-submitted future still
+ * completes — and joins the dispatcher pool. submit after shutdown
+ * throws
  * EngineStoppedError — a catchable rejection, not a process fatal:
  * a serving daemon must survive a client racing a drain (the
  * difftuned connection handler turns it into a "draining" wire
@@ -60,6 +64,7 @@
 #ifndef DIFFTUNE_SERVE_ASYNC_ENGINE_HH
 #define DIFFTUNE_SERVE_ASYNC_ENGINE_HH
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -132,6 +137,25 @@ struct AsyncConfig
      * construction (the DIFFTUNE_OBS_OFF kill switch).
      */
     obs::MetricRegistry *registry = nullptr;
+    /**
+     * Dispatcher-pool size for the async micro-batcher (<= 1: one
+     * dispatcher, the original behavior). Each pool worker owns an
+     * intake queue (striped round-robin assignment at submit, with
+     * idle workers stealing from loaded siblings) and a private set
+     * of shard executors, so micro-batches on different workers
+     * genuinely overlap on a multi-core box. By the determinism
+     * contract the pool size can never change a result — kF64
+     * replies stay bit-identical to the single-dispatcher engine
+     * for any size and arrival order (see docs/TRAFFIC_LAB.md).
+     */
+    int dispatchers = 1;
+    /**
+     * Replacement/admission policy for the serving caches, built
+     * per stripe (null: classic LRU — decision-identical to the
+     * pre-lab engine). Policies are speed-only by the determinism
+     * contract; see lab/policy.hh and docs/TRAFFIC_LAB.md.
+     */
+    lab::PolicyFactory cachePolicy;
 };
 
 /**
@@ -358,24 +382,43 @@ class AsyncEngine
      */
     std::optional<double> frontProbe(const std::string &text);
 
+    /** Per-shard executor + instruction-hidden memo (speed only). */
+    struct Shard
+    {
+        std::unique_ptr<nn::BatchedForward> batched;
+        surrogate::InstHiddenCache instCache;
+    };
+
     /**
-     * Serve @p texts (which already missed the front cache):
-     * dedup, parse, canonical-cache probe, shard fan-out over the
-     * misses, cache publish. Takes batchMutex_. Outcomes align with
-     * @p texts; per-request errors land in Outcome::error.
-     * @p sample_laps (from sampleTick()) turns the per-block stage
-     * laps on for this call.
+     * Serve @p texts (which already missed the front cache) on the
+     * synchronous executor set: takes batchMutex_, then delegates
+     * to serveBatchOn. Outcomes align with @p texts; per-request
+     * errors land in Outcome::error. @p sample_laps (from
+     * sampleTick()) turns the per-block stage laps on for this call.
      */
     std::vector<Outcome>
     serveBatch(const std::vector<const std::string *> &texts,
                bool sample_laps);
 
     /**
-     * Run misses [lo, hi) through shard @p shard's executor as one
-     * lane batch and fill their predictions. Caller holds
-     * batchMutex_ (shards parallelize under it via parallelShards).
+     * The batch core: dedup, parse, canonical-cache probe, shard
+     * fan-out over the misses on @p shards, cache publish. The
+     * caller must own @p shards exclusively — the sync path holds
+     * batchMutex_ over shards_; each dispatcher-pool worker passes
+     * its private set lock-free, which is how batches on different
+     * workers overlap.
      */
-    void forwardMissBatch(int shard, std::vector<Miss> &misses,
+    std::vector<Outcome>
+    serveBatchOn(std::vector<Shard> &shards,
+                 const std::vector<const std::string *> &texts,
+                 bool sample_laps);
+
+    /**
+     * Run misses [lo, hi) through @p sh's executor as one lane
+     * batch and fill their predictions. The caller owns @p sh
+     * (shards of one set parallelize via parallelShards).
+     */
+    void forwardMissBatch(Shard &sh, std::vector<Miss> &misses,
                           size_t lo, size_t hi);
 
     /** Forward one encoded block on @p graph; returns exp(head). */
@@ -383,11 +426,12 @@ class AsyncEngine
                           const surrogate::EncodedBlock &encoded,
                           const isa::BasicBlock &block) const;
 
-    /** The dispatcher thread: pop, coalesce, serve, fulfill. */
-    void dispatchLoop();
+    /** Pool worker @p self: pop/steal, coalesce, serve, fulfill. */
+    void dispatchLoop(size_t self);
 
-    /** Start the dispatcher if needed; caller holds queueMutex_. */
-    void ensureDispatcherLocked();
+    /** Start the dispatcher pool if needed; caller holds
+     *  queueMutex_. */
+    void ensureDispatchersLocked();
 
     io::ModelSnapshot artifact_;
     std::shared_ptr<const nn::WeightSnapshot> snapshot_;
@@ -395,12 +439,7 @@ class AsyncEngine
     nn::Precision precision_;
     AsyncConfig config_;
 
-    /** Per-shard executor + instruction-hidden memo (speed only). */
-    struct Shard
-    {
-        std::unique_ptr<nn::BatchedForward> batched;
-        surrogate::InstHiddenCache instCache;
-    };
+    /** Synchronous-path executors (guarded by batchMutex_). */
     std::vector<Shard> shards_;
 
     /**
@@ -482,22 +521,55 @@ class AsyncEngine
     obs::MetricRegistry *registry_ = nullptr;
     std::string metricPrefix_;
 
+    /**
+     * One dispatcher-pool worker: an intake queue (guarded by
+     * queueMutex_ like all queue state) plus a private executor set
+     * its thread serves batches on without touching batchMutex_.
+     * unique_ptr entries so worker addresses are stable.
+     */
+    struct DispatchWorker
+    {
+        std::deque<Pending> queue;
+        std::vector<Shard> shards;
+        std::thread thread;
+    };
+
+    /** Pool size the config resolves to (>= 1). */
+    size_t
+    poolSize() const
+    {
+        return size_t(std::max(config_.dispatchers, 1));
+    }
+
+    /**
+     * One mutex guards every per-worker queue plus the stop/flush
+     * flags: queue operations are tiny next to batch execution, so
+     * striping the *lock* would buy nothing — what the per-worker
+     * queues buy is striped FIFO assignment, per-worker coalescing
+     * and idle-steal, and above all one private executor set per
+     * worker so batch *execution* overlaps.
+     */
     std::mutex queueMutex_;
     std::condition_variable queueCv_;
-    std::deque<Pending> queue_;
+    std::vector<std::unique_ptr<DispatchWorker>> pool_;
+    /** Round-robin intake stripe counter (submit picks a queue). */
+    std::atomic<uint64_t> intakeStripe_{0};
+    /** Sum of all per-worker queue sizes (guarded by queueMutex_);
+     *  what the queue_depth gauge mirrors — with a pool, one
+     *  worker's queue alone would under-report the backlog. */
+    size_t totalQueued_ = 0;
     uint64_t flushes_ = 0; ///< submitAll/shutdown flush generation
     bool stopping_ = false;
     /** Fast intake-closed check (set before stopping_ is taken). */
     std::atomic<bool> stopped_{false};
     /**
-     * The dispatcher starts lazily on the first queued request
-     * (guarded by queueMutex_), so engines used only through the
-     * synchronous API never own an idle thread.
+     * The pool starts lazily on the first queued request (guarded
+     * by queueMutex_), so engines used only through the synchronous
+     * API never own idle threads.
      */
-    bool dispatcherStarted_ = false;
+    bool dispatchersStarted_ = false;
     /** Serializes shutdown(): exactly one caller joins. */
     std::mutex shutdownMutex_;
-    std::thread dispatcher_;
 };
 
 } // namespace difftune::serve

@@ -24,6 +24,7 @@
 #include "hw/default_table.hh"
 #include "isa/parse.hh"
 #include "serve/engine.hh"
+#include "serve/lru_cache.hh"
 
 namespace difftune::serve
 {

@@ -362,6 +362,119 @@ TEST(AsyncEngine, ConcurrentSyncCallsAreSafe)
     EXPECT_EQ(mismatches.load(), 0);
 }
 
+TEST(AsyncEngine, PoolShutdownDrainsEveryQueue)
+{
+    // Dispatcher pool: requests striped over several intake queues
+    // must all complete (with the right bits) through an immediate
+    // shutdown — the drain covers every per-worker queue, not just
+    // one dispatcher's.
+    const auto texts = corpusTexts(24, 0xbb);
+    AsyncConfig cfg;
+    cfg.dispatchers = 4;
+    AsyncEngine engine(ithemalCheckpoint(), cfg);
+    PredictionEngine reference(ithemalCheckpoint());
+    std::vector<std::future<double>> futures;
+    futures.reserve(texts.size());
+    for (const auto &text : texts)
+        futures.push_back(engine.submit(text));
+    engine.shutdown();
+    for (size_t i = 0; i < texts.size(); ++i)
+        EXPECT_TRUE(
+            sameBits(futures[i].get(), reference.predict(texts[i])));
+    EXPECT_THROW(engine.submit(texts[0]), EngineStoppedError);
+}
+
+TEST(AsyncEngine, PoolQueueMetricsReconcile)
+{
+    // Satellite of the traffic-lab PR: with a dispatcher pool the
+    // queue_depth gauge mirrors the backlog summed over every
+    // per-worker queue (one queue alone would under-report), and
+    // stage.queue_wait_ns times from the enqueue on the owning
+    // queue — so after a full drain the gauge reads 0 and the wait
+    // histogram holds exactly one observation per queued request.
+    const auto texts = corpusTexts(32, 0xcc);
+    obs::MetricRegistry registry;
+    AsyncConfig cfg;
+    cfg.dispatchers = 4;
+    cfg.registry = &registry;
+    cfg.metricPrefix = "poolrec";
+    AsyncEngine engine(ithemalCheckpoint(), cfg);
+    for (std::future<double> &future : engine.submitAll(texts))
+        future.get();
+    for (const auto &text : texts) // warm repeats: front-cache hits
+        engine.submit(text).get();
+    engine.shutdown();
+
+    EXPECT_EQ(registry.gauge("poolrec.queue_depth").value(), 0);
+    // Every text missed the front cache exactly once and queued;
+    // the warm repeats resolved inline and never waited.
+    const auto waits =
+        registry.histogram("poolrec.stage.queue_wait_ns").snapshot();
+    EXPECT_EQ(waits.count(), engine.stats().textMisses.load());
+    EXPECT_EQ(waits.count(), texts.size());
+    // Async end-to-end spans cover the same queued population.
+    const auto requests =
+        registry.histogram("poolrec.request_ns").snapshot();
+    EXPECT_EQ(requests.count(), texts.size());
+}
+
+TEST(ShardedLruCacheTest, StripeBalanceOnDenseBlockIds)
+{
+    // Satellite of the traffic-lab PR: interned BlockIds are dense
+    // sequential integers, and std::hash is identity for integers on
+    // common implementations — without a finalizer, stripe selection
+    // would correlate with the per-stripe hash-map bucket reduction.
+    // stripeFor applies the full splitmix64 finalizer; audit the mix
+    // on the worst-case population (10k sequential ids) and require
+    // every stripe within 2x fair share (measured: within 10%,
+    // worst stripe ~8.1% under fair).
+    ShardedLruCache<uint32_t, double> cache(4096, 8);
+    std::vector<size_t> load(size_t(cache.numStripes()), 0);
+    constexpr size_t kIds = 10000;
+    for (uint32_t id = 0; id < kIds; ++id)
+        ++load[cache.stripeIndex(id)];
+    const double fair = double(kIds) / double(load.size());
+    for (size_t s = 0; s < load.size(); ++s) {
+        EXPECT_LT(double(load[s]), 2.0 * fair) << "stripe " << s;
+        EXPECT_GT(double(load[s]), 0.5 * fair) << "stripe " << s;
+        // The documented measurement in sharded_cache.hh.
+        EXPECT_NEAR(double(load[s]), fair, 0.10 * fair)
+            << "stripe " << s;
+    }
+}
+
+TEST(ShardedLruCacheTest, PolicyFactoryDrivesStripes)
+{
+    // A non-default policy threads through the sharded wrapper: a
+    // TinyLFU cache under one-pass scan traffic must reject most
+    // inserts (counters prove the policy actually ran per stripe).
+    ShardedLruCache<uint32_t, double> cache(
+        64, 4, lab::policyFactory("tinylfu"));
+    EXPECT_STREQ(cache.policyName(), "tinylfu");
+    // Warm a hot set, then scan with the hot traffic still flowing
+    // (TinyLFU's sketch ages, so a hot set that stops arriving
+    // decays away by design).
+    for (int round = 0; round < 8; ++round)
+        for (uint32_t id = 0; id < 64; ++id)
+            if (!cache.get(id))
+                cache.put(id, double(id));
+    for (uint32_t id = 10000; id < 12000; ++id) {
+        const uint32_t hot = id % 64;
+        if (!cache.get(hot))
+            cache.put(hot, double(hot));
+        cache.get(id);
+        cache.put(id, double(id));
+    }
+    const lab::CacheCounters counters = cache.counters();
+    EXPECT_GT(counters.rejections, 1500u);
+    // Hot keys survived the scan.
+    size_t hot_resident = 0;
+    for (uint32_t id = 0; id < 64; ++id)
+        if (cache.get(id))
+            ++hot_resident;
+    EXPECT_GT(hot_resident, 48u);
+}
+
 TEST(ShardedLruCacheTest, StripedGetPutAndEviction)
 {
     ShardedLruCache<std::string, double> cache(16, 4);
